@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: L1 capacity vs. the Volume classification thresholds.
+ *
+ * The taxonomy classifies Volume against 1.5x the L1 size and the per-SM
+ * L2 share (Sec. V-A). Sweeping the L1 from 8 KB to 128 KB on a pull
+ * workload whose gathers have reuse (MIS-OLS) shows the capacity cliff
+ * the thresholds approximate.
+ *
+ * Usage: ablation_l1_size [--csv]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "apps/runner.hpp"
+#include "harness/workloads.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+int
+main(int argc, char** argv)
+{
+    const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
+    gga::setVerbose(true);
+
+    gga::TextTable table;
+    table.setHeader({"Workload", "Config", "L1KiB", "Cycles", "Norm",
+                     "L1MissRate"});
+
+    for (gga::GraphPreset g : {gga::GraphPreset::Ols, gga::GraphPreset::Raj}) {
+        const gga::CsrGraph& graph = gga::workloadGraph(g);
+        for (const char* cfg_name : {"TG0", "SDR"}) {
+            const gga::SystemConfig cfg = gga::parseConfig(cfg_name);
+            double base = 0.0;
+            for (std::uint32_t l1 : {8u, 16u, 32u, 64u, 128u}) {
+                gga::SimParams params;
+                params.l1SizeKiB = l1;
+                const gga::RunResult r = gga::runMis(graph, cfg, params);
+                if (base == 0.0)
+                    base = static_cast<double>(r.cycles);
+                const double touches = static_cast<double>(
+                    r.mem.l1LoadHits + r.mem.l1LoadMisses);
+                table.addRow({"MIS-" + gga::presetName(g), cfg_name,
+                              std::to_string(l1), std::to_string(r.cycles),
+                              gga::fmtDouble(r.cycles / base, 3),
+                              gga::fmtPct(touches > 0
+                                              ? r.mem.l1LoadMisses / touches
+                                              : 0.0)});
+            }
+            table.addSeparator();
+        }
+    }
+
+    std::cout << "Ablation: L1 capacity sensitivity\n"
+                 "(normalized to the 8 KB point)\n\n";
+    std::cout << (csv ? table.toCsv() : table.toText());
+    return 0;
+}

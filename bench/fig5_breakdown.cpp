@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 5: normalized GPU execution-time breakdown
+ * (Busy/Comp/Data/Sync/Idle) for all 36 workloads.
+ *
+ * Static-traversal apps show the paper's five configurations (TG0, SG1,
+ * SGR, SD1, SDR) normalized to TG0; CC shows DG1, DGR, DD1, DDR normalized
+ * to DG1. Each app additionally reports the geometric-mean normalized
+ * time of the empirical BEST and the model-PREDicted configurations
+ * across its six inputs.
+ *
+ * Usage: fig5_breakdown [--csv] [--full]
+ *   --full sweeps all 12 (6 for CC) configurations instead of the figure
+ *   subset when searching for BEST.
+ * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/sweep.hpp"
+#include "harness/workloads.hpp"
+#include "support/log.hpp"
+#include "support/stats.hpp"
+
+int
+main(int argc, char** argv)
+{
+    bool csv = false;
+    bool full = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--csv"))
+            csv = true;
+        else if (!std::strcmp(argv[i], "--full"))
+            full = true;
+    }
+    gga::setVerbose(true);
+
+    gga::TextTable table;
+    table.setHeader({"Workload", "Config", "Norm", "Busy", "Comp", "Data",
+                     "Sync", "Idle", "Cycles", "Tag"});
+
+    gga::TextTable summary;
+    summary.setHeader({"App", "GeomeanBEST", "GeomeanPRED", "PredHitRate"});
+
+    for (gga::AppId app : gga::kAllApps) {
+        std::vector<double> best_norm;
+        std::vector<double> pred_norm;
+        std::uint32_t exact = 0;
+        for (gga::GraphPreset g : gga::kAllGraphPresets) {
+            const gga::Workload wl{app, g};
+            const auto configs = full ? gga::allConfigs(wl.dynamic())
+                                      : gga::figureConfigs(wl.dynamic());
+            const gga::SweepResult sweep = gga::sweepWorkload(wl, configs);
+            gga::addSweepRows(table, sweep);
+            table.addSeparator();
+            const double base = static_cast<double>(sweep.baselineCycles);
+            best_norm.push_back(sweep.bestCycles / base);
+            pred_norm.push_back(sweep.predictedCycles / base);
+            if (sweep.predicted == sweep.best)
+                ++exact;
+        }
+        summary.addRow({gga::appName(app),
+                        gga::fmtDouble(gga::geomean(best_norm), 3),
+                        gga::fmtDouble(gga::geomean(pred_norm), 3),
+                        std::to_string(exact) + "/6"});
+    }
+
+    std::cout << "Figure 5: normalized execution-time breakdown per "
+                 "workload\n(baseline: TG0 for static apps, DG1 for CC; "
+                 "scale=" << gga::evaluationScale() << ")\n\n";
+    std::cout << (csv ? table.toCsv() : table.toText());
+    std::cout << "\nPer-app geomean of BEST and PRED normalized times:\n";
+    std::cout << (csv ? summary.toCsv() : summary.toText());
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the substrate components: event
+ * engine throughput, cache lookups, k-means, graph generation, taxonomy
+ * metrics, and small end-to-end simulations. These track the simulator's
+ * own performance (host wall-time), not simulated cycles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/runner.hpp"
+#include "graph/generator.hpp"
+#include "model/config.hpp"
+#include "sim/cache.hpp"
+#include "sim/engine.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "taxonomy/kmeans.hpp"
+#include "taxonomy/profile.hpp"
+
+namespace {
+
+const gga::CsrGraph&
+benchGraph()
+{
+    static const gga::CsrGraph g = [] {
+        gga::GenSpec spec;
+        spec.name = "bench";
+        spec.numVertices = 4096;
+        spec.numDirectedEdges = 32768;
+        spec.dist = gga::DegreeDist::PowerLaw;
+        spec.p1 = 2.3;
+        spec.p2 = 2.0;
+        spec.maxDegree = 256;
+        spec.fracIntraBlock = 0.4;
+        spec.seed = 7;
+        return gga::generateGraph(spec);
+    }();
+    return g;
+}
+
+void
+BM_EngineScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        gga::Engine engine;
+        std::uint64_t count = 0;
+        for (int i = 0; i < 4096; ++i) {
+            engine.schedule(static_cast<gga::Cycles>(i % 97),
+                            [&count] { ++count; });
+        }
+        engine.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void
+BM_CacheLookupInsert(benchmark::State& state)
+{
+    gga::SetAssocCache cache(32 * 1024, 8, 64);
+    gga::Xoshiro256StarStar rng(3);
+    for (auto _ : state) {
+        const gga::Addr line = (rng.next() % 100000) * 64;
+        if (cache.lookup(line) == gga::LineState::Invalid)
+            cache.insert(line, gga::LineState::Valid);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupInsert);
+
+void
+BM_KMeans1d(benchmark::State& state)
+{
+    std::vector<double> values(state.range(0));
+    gga::Xoshiro256StarStar rng(11);
+    for (auto& v : values)
+        v = static_cast<double>(rng.nextBounded(1000));
+    for (auto _ : state) {
+        auto r = gga::kmeans1d2(values);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeans1d)->Arg(8)->Arg(64)->Arg(1024);
+
+void
+BM_GenerateGraph(benchmark::State& state)
+{
+    for (auto _ : state) {
+        gga::GenSpec spec;
+        spec.name = "gen";
+        spec.numVertices = static_cast<gga::VertexId>(state.range(0));
+        spec.numDirectedEdges =
+            static_cast<gga::EdgeId>(state.range(0) * 8);
+        spec.dist = gga::DegreeDist::LogNormal;
+        spec.p1 = 2.0;
+        spec.p2 = 0.6;
+        spec.maxDegree = 128;
+        spec.fracIntraBlock = 0.3;
+        spec.seed = 13;
+        auto g = gga::generateGraph(spec);
+        benchmark::DoNotOptimize(g);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_GenerateGraph)->Arg(1 << 12)->Arg(1 << 14);
+
+void
+BM_TaxonomyProfile(benchmark::State& state)
+{
+    const gga::CsrGraph& g = benchGraph();
+    for (auto _ : state) {
+        auto p = gga::profileGraph(g);
+        benchmark::DoNotOptimize(p);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges());
+}
+BENCHMARK(BM_TaxonomyProfile);
+
+void
+BM_SimulatePr(benchmark::State& state)
+{
+    const gga::CsrGraph& g = benchGraph();
+    const gga::SystemConfig cfg =
+        gga::parseConfig(state.range(0) == 0 ? "TG0" : "SGR");
+    for (auto _ : state) {
+        auto r = gga::runPr(g, cfg, gga::SimParams{});
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * g.numEdges() * 10);
+}
+BENCHMARK(BM_SimulatePr)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gga::setVerbose(false);
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

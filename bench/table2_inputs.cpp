@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces the paper's Table II: input graph statistics and taxonomy
+ * classifications for the six inputs, side by side with the published
+ * values.
+ *
+ * Usage: table2_inputs [--csv]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "graph/degree_stats.hpp"
+#include "graph/presets.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "taxonomy/profile.hpp"
+
+int
+main(int argc, char** argv)
+{
+    const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+    gga::setVerbose(false);
+
+    gga::TextTable table;
+    table.setHeader({"Graph", "Vertices", "Edges", "MaxDeg", "AvgDeg",
+                     "StdDev", "Volume(KB)", "ANL", "ANR", "Reuse",
+                     "Imbalance", "Classes", "PaperClasses"});
+
+    bool all_match = true;
+    for (gga::GraphPreset p : gga::kAllGraphPresets) {
+        const gga::CsrGraph& g = gga::presetGraph(p);
+        const gga::DegreeStats ds = gga::computeDegreeStats(g);
+        const gga::TaxonomyProfile prof = gga::profileGraph(g);
+        const gga::PaperGraphStats& paper = gga::paperStats(p);
+
+        const std::string classes = {gga::levelChar(prof.volume), '/',
+                                     gga::levelChar(prof.reuseLevel), '/',
+                                     gga::levelChar(prof.imbalanceLevel)};
+        const std::string paper_classes = {paper.volumeClass, '/',
+                                           paper.reuseClass, '/',
+                                           paper.imbalanceClass};
+        if (classes != paper_classes)
+            all_match = false;
+
+        table.addRow({gga::presetName(p), std::to_string(g.numVertices()),
+                      std::to_string(g.numEdges()),
+                      std::to_string(ds.maxDegree),
+                      gga::fmtDouble(ds.avgDegree, 3),
+                      gga::fmtDouble(ds.stddevDegree, 3),
+                      gga::fmtDouble(prof.volumeKb, 3),
+                      gga::fmtDouble(prof.anl, 3),
+                      gga::fmtDouble(prof.anr, 3),
+                      gga::fmtDouble(prof.reuse, 3),
+                      gga::fmtDouble(prof.imbalance, 3), classes,
+                      paper_classes});
+    }
+
+    std::cout << "Table II: input graph statistics and taxonomy classes\n";
+    std::cout << "(classes are Volume/Reuse/Imbalance; paper values from "
+                 "Salvador et al., ISPASS 2020)\n\n";
+    std::cout << (csv ? table.toCsv() : table.toText());
+    std::cout << (all_match ? "\nAll taxonomy classes match the paper.\n"
+                            : "\nWARNING: some classes differ from the "
+                              "paper.\n");
+    return all_match ? 0 : 1;
+}

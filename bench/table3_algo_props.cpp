@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reproduces the paper's Table III: the algorithmic properties (traversal,
+ * control, information) of the six applications, as encoded in the model
+ * library.
+ *
+ * Usage: table3_algo_props [--csv]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "model/algo_props.hpp"
+#include "support/table.hpp"
+
+int
+main(int argc, char** argv)
+{
+    const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
+
+    gga::TextTable table;
+    table.setHeader({"App", "Traversal", "Control", "Information"});
+    for (gga::AppId app : gga::kAllApps) {
+        const gga::AlgoProperties& p = gga::algoProperties(app);
+        table.addRow({gga::appName(app), gga::traversalLabel(p.traversal),
+                      gga::preferenceLabel(p.control),
+                      gga::preferenceLabel(p.information)});
+    }
+    std::cout << "Table III: algorithmic properties per application\n\n";
+    std::cout << (csv ? table.toCsv() : table.toText());
+    return 0;
+}

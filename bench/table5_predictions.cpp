@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces the paper's Table V: the configuration the specialization
+ * model predicts for each of the 36 workloads, compared against the
+ * paper's published predictions.
+ *
+ * This exercises the whole model path (generated graph -> taxonomy
+ * metrics -> Fig. 4 decision tree) without running the simulator.
+ *
+ * Usage: table5_predictions [--csv]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "graph/presets.hpp"
+#include "model/decision_tree.hpp"
+#include "taxonomy/profile.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+/** The paper's Table V entries, rows = inputs, columns = apps. */
+const char* const kPaperTable5[6][6] = {
+    // PR     SSSP   MIS    CLR    BC     CC
+    {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"}, // AMZ
+    {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"}, // DCT
+    {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"}, // EML
+    {"SDR", "SDR", "TG0", "TG0", "SDR", "DD1"}, // OLS
+    {"SDR", "SDR", "SDR", "SDR", "SDR", "DD1"}, // RAJ
+    {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"}, // WNG
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
+    gga::setVerbose(false);
+
+    gga::TextTable table;
+    table.setHeader({"Input", "PR", "SSSP", "MIS", "CLR", "BC", "CC",
+                     "MatchesPaper"});
+
+    std::uint32_t matches = 0;
+    for (std::size_t gi = 0; gi < gga::kAllGraphPresets.size(); ++gi) {
+        const gga::GraphPreset g = gga::kAllGraphPresets[gi];
+        std::vector<std::string> cells{gga::presetName(g)};
+        bool row_match = true;
+        for (std::size_t ai = 0; ai < gga::kAllApps.size(); ++ai) {
+            // Always full-scale: predictions profile the graph only.
+            const gga::TaxonomyProfile profile =
+                gga::profileGraph(gga::presetGraph(g));
+            const std::string pred =
+                gga::predictFullDesignSpace(
+                    profile, gga::algoProperties(gga::kAllApps[ai]))
+                    .name();
+            cells.push_back(pred);
+            const bool ok = pred == kPaperTable5[gi][ai];
+            row_match &= ok;
+            matches += ok;
+        }
+        cells.push_back(row_match ? "yes" : "NO");
+        table.addRow(std::move(cells));
+    }
+
+    std::cout << "Table V: model-predicted best configuration per "
+                 "workload\n\n";
+    std::cout << (csv ? table.toCsv() : table.toText());
+    std::cout << "\nPredictions matching the paper's Table V: " << matches
+              << "/36\n";
+    return matches == 36 ? 0 : 1;
+}

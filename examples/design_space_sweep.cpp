@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Example: sweep one workload (application + input graph) across the full
+ * hardware/software design space and print the execution-time breakdown
+ * of every configuration, normalized to the baseline (TG0, or DG1 for CC)
+ * — one workload's worth of the paper's Figure 5.
+ *
+ * Usage: example_design_space_sweep [APP] [GRAPH] [scale]
+ *   APP   in {PR, SSSP, MIS, CLR, BC, CC}      (default PR)
+ *   GRAPH in {AMZ, DCT, EML, OLS, RAJ, WNG}    (default RAJ)
+ *   scale in (0, 1]: graph size multiplier      (default 0.25)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/runner.hpp"
+#include "graph/presets.hpp"
+#include "model/algo_props.hpp"
+#include "model/config.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+gga::AppId
+parseApp(const std::string& name)
+{
+    for (gga::AppId a : gga::kAllApps) {
+        if (gga::appName(a) == name)
+            return a;
+    }
+    GGA_FATAL("unknown app '", name, "'");
+}
+
+gga::GraphPreset
+parsePreset(const std::string& name)
+{
+    for (gga::GraphPreset p : gga::kAllGraphPresets) {
+        if (gga::presetName(p) == name)
+            return p;
+    }
+    GGA_FATAL("unknown graph '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const gga::AppId app = parseApp(argc > 1 ? argv[1] : "PR");
+    const gga::GraphPreset preset =
+        parsePreset(argc > 2 ? argv[2] : "RAJ");
+    const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+
+    gga::setVerbose(false);
+    const gga::CsrGraph graph = gga::buildPresetScaled(preset, scale);
+    std::cout << "workload: " << gga::appName(app) << " on "
+              << gga::presetName(preset) << " x" << scale << "  (|V|="
+              << graph.numVertices() << ", |E|=" << graph.numEdges()
+              << ")\n\n";
+
+    const bool dynamic = gga::algoProperties(app).traversal ==
+                         gga::TraversalKind::Dynamic;
+    const auto configs = gga::allConfigs(dynamic);
+
+    gga::TextTable table;
+    table.setHeader({"Config", "Cycles", "Norm", "Busy", "Comp", "Data",
+                     "Sync", "Idle", "Kernels"});
+    double baseline = 0.0;
+    for (const gga::SystemConfig& cfg : configs) {
+        const gga::RunResult r =
+            gga::runWorkload(app, graph, cfg, gga::SimParams{});
+        if (baseline == 0.0)
+            baseline = static_cast<double>(r.cycles);
+        const double total = r.breakdown.total();
+        table.addRow({cfg.name(), std::to_string(r.cycles),
+                      gga::fmtDouble(r.cycles / baseline, 3),
+                      gga::fmtPct(r.breakdown.busy / total),
+                      gga::fmtPct(r.breakdown.comp / total),
+                      gga::fmtPct(r.breakdown.data / total),
+                      gga::fmtPct(r.breakdown.sync / total),
+                      gga::fmtPct(r.breakdown.idle / total),
+                      std::to_string(r.kernels)});
+    }
+    std::cout << table.toText();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: generate a graph, profile it with the taxonomy, ask the
+ * specialization model for the best configuration, and run the workload
+ * on the simulator — the complete public-API round trip in ~60 lines.
+ */
+
+#include <iostream>
+
+#include "apps/runner.hpp"
+#include "graph/presets.hpp"
+#include "model/decision_tree.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "taxonomy/profile.hpp"
+
+int
+main()
+{
+    gga::setVerbose(false);
+
+    // 1. An input graph: the RAJ-like preset (circuit: heavy-tailed
+    //    degrees, high intra-thread-block locality), scaled down so the
+    //    quickstart finishes in seconds.
+    const gga::CsrGraph graph =
+        gga::buildPresetScaled(gga::GraphPreset::Raj, 0.25);
+    std::cout << "graph: |V|=" << graph.numVertices()
+              << " |E|=" << graph.numEdges() << "\n";
+
+    // 2. Profile its structure (paper Sec. III-A).
+    const gga::TaxonomyProfile profile = gga::profileGraph(graph);
+    std::cout << "taxonomy: volume=" << gga::fmtDouble(profile.volumeKb, 1)
+              << "KB(" << gga::levelChar(profile.volume) << ")"
+              << " reuse=" << gga::fmtDouble(profile.reuse, 3) << "("
+              << gga::levelChar(profile.reuseLevel) << ")"
+              << " imbalance=" << gga::fmtDouble(profile.imbalance, 3)
+              << "(" << gga::levelChar(profile.imbalanceLevel) << ")\n";
+
+    // 3. Ask the model for the best configuration for PageRank on it.
+    const gga::AppId app = gga::AppId::Pr;
+    const gga::SystemConfig predicted =
+        gga::predictFullDesignSpace(profile, gga::algoProperties(app));
+    std::cout << "model prediction for " << gga::appName(app) << ": "
+              << predicted.name() << " (" << gga::propLabel(predicted.prop)
+              << " / " << gga::cohLabel(predicted.coh) << " / "
+              << gga::conLabel(predicted.con) << ")\n";
+
+    // 4. Run it, and a baseline, on the simulated CPU-GPU system.
+    const gga::RunResult pred_run =
+        gga::runWorkload(app, graph, predicted);
+    const gga::RunResult base_run =
+        gga::runWorkload(app, graph, gga::parseConfig("TG0"));
+
+    std::cout << "predicted config:  " << pred_run.cycles << " cycles ("
+              << gga::describeBreakdown(pred_run.breakdown) << ")\n";
+    std::cout << "baseline TG0:      " << base_run.cycles << " cycles ("
+              << gga::describeBreakdown(base_run.breakdown) << ")\n";
+    std::cout << "speedup over TG0:  "
+              << gga::fmtDouble(double(base_run.cycles) / pred_run.cycles, 2)
+              << "x\n";
+    return 0;
+}

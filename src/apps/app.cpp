@@ -1,0 +1,24 @@
+#include "apps/app.hpp"
+
+namespace gga {
+
+GraphBuffers::GraphBuffers(AddressSpace& space, const CsrGraph& g)
+    : rowOff(space, g.rowOffsets(), "csr.rowOff"),
+      col(space, g.colIndices(), "csr.col"),
+      weight(space, g.weights(), "csr.weight")
+{
+}
+
+RunResult
+collectResult(Gpu& gpu)
+{
+    RunResult r;
+    r.cycles = gpu.now();
+    r.breakdown = gpu.totalBreakdown();
+    r.mem = gpu.memStats();
+    r.kernels = gpu.kernelsLaunched();
+    r.events = gpu.engine().processedEvents();
+    return r;
+}
+
+} // namespace gga

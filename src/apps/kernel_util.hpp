@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Helpers for writing warp-level SIMT kernels: coalesced/gather address
+ * set construction and warp-tile degree scans.
+ */
+
+#ifndef GGA_APPS_KERNEL_UTIL_HPP
+#define GGA_APPS_KERNEL_UTIL_HPP
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "sim/address_space.hpp"
+#include "sim/warp.hpp"
+
+namespace gga::kutil {
+
+/** Line address containing byte address @p a. */
+inline Addr
+lineOf(Addr a, std::uint32_t line_bytes)
+{
+    return a & ~static_cast<Addr>(line_bytes - 1);
+}
+
+/** Add the (deduplicated) line of element @p idx of @p buf. */
+template <typename T>
+void
+addElem(AddrSet& s, const DeviceBuffer<T>& buf, std::size_t idx,
+        std::uint32_t line_bytes)
+{
+    s.pushUnique(lineOf(buf.addrOf(idx), line_bytes));
+}
+
+/** Add the lines of the contiguous range [first, first+count) of @p buf. */
+template <typename T>
+void
+addRange(AddrSet& s, const DeviceBuffer<T>& buf, std::size_t first,
+         std::size_t count, std::uint32_t line_bytes)
+{
+    if (count == 0)
+        return;
+    const Addr lo = lineOf(buf.addrOf(first), line_bytes);
+    const Addr hi = lineOf(buf.addrOf(first + count - 1), line_bytes);
+    for (Addr line = lo; line <= hi; line += line_bytes)
+        s.pushUnique(line);
+}
+
+/** Word address of element @p idx (atomic granularity). */
+template <typename T>
+Addr
+wordOf(const DeviceBuffer<T>& buf, std::size_t idx)
+{
+    return buf.addrOf(idx);
+}
+
+/** Max degree over the warp's lanes [v0, v0+lanes). */
+inline std::uint32_t
+maxDegree(const CsrGraph& g, VertexId v0, std::uint32_t lanes)
+{
+    std::uint32_t m = 0;
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        m = std::max(m, g.degree(v0 + l));
+    return m;
+}
+
+} // namespace gga::kutil
+
+#endif // GGA_APPS_KERNEL_UTIL_HPP

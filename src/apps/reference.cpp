@@ -1,0 +1,186 @@
+#include "apps/reference.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "support/log.hpp"
+#include "support/types.hpp"
+
+namespace gga::ref {
+
+std::vector<double>
+pagerank(const CsrGraph& g, std::uint32_t iterations, double damping)
+{
+    const VertexId n = g.numVertices();
+    std::vector<double> rank(n, n ? 1.0 / n : 0.0);
+    std::vector<double> next(n);
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (VertexId v = 0; v < n; ++v) {
+            const std::uint32_t deg = g.degree(v);
+            if (deg == 0)
+                continue;
+            const double contrib = rank[v] / deg;
+            for (VertexId t : g.neighbors(v))
+                next[t] += contrib;
+        }
+        for (VertexId v = 0; v < n; ++v)
+            rank[v] = (1.0 - damping) / n + damping * next[v];
+    }
+    return rank;
+}
+
+std::vector<std::uint32_t>
+dijkstra(const CsrGraph& g, VertexId source)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::uint32_t> dist(n, kInfDist);
+    using Item = std::pair<std::uint64_t, VertexId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[source] = 0;
+    pq.push({0, source});
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[v])
+            continue;
+        const EdgeId begin = g.edgeBegin(v);
+        const EdgeId end = g.edgeEnd(v);
+        for (EdgeId e = begin; e < end; ++e) {
+            const VertexId t = g.edgeTarget(e);
+            const std::uint64_t nd = d + g.edgeWeight(e);
+            if (nd < dist[t]) {
+                dist[t] = static_cast<std::uint32_t>(nd);
+                pq.push({nd, t});
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+validMis(const CsrGraph& g, const std::vector<std::uint32_t>& state)
+{
+    const VertexId n = g.numVertices();
+    if (state.size() != n)
+        return false;
+    for (VertexId v = 0; v < n; ++v) {
+        if (state[v] != 1 && state[v] != 2)
+            return false; // undecided vertex left over
+        bool has_in_neighbor = false;
+        for (VertexId t : g.neighbors(v)) {
+            if (state[t] == 1) {
+                has_in_neighbor = true;
+                if (state[v] == 1)
+                    return false; // two adjacent members
+            }
+        }
+        if (state[v] == 2 && !has_in_neighbor)
+            return false; // not maximal
+    }
+    return true;
+}
+
+bool
+validColoring(const CsrGraph& g, const std::vector<std::uint32_t>& colors)
+{
+    const VertexId n = g.numVertices();
+    if (colors.size() != n)
+        return false;
+    for (VertexId v = 0; v < n; ++v) {
+        if (colors[v] == kInfDist)
+            return false;
+        for (VertexId t : g.neighbors(v)) {
+            if (t != v && colors[t] == colors[v])
+                return false;
+        }
+    }
+    return true;
+}
+
+BcRef
+brandes(const CsrGraph& g, VertexId source)
+{
+    const VertexId n = g.numVertices();
+    BcRef r;
+    r.level.assign(n, kInfDist);
+    r.sigma.assign(n, 0.0);
+    r.delta.assign(n, 0.0);
+
+    r.level[source] = 0;
+    r.sigma[source] = 1.0;
+    std::vector<VertexId> order;
+    order.reserve(n);
+    std::queue<VertexId> q;
+    q.push(source);
+    while (!q.empty()) {
+        const VertexId v = q.front();
+        q.pop();
+        order.push_back(v);
+        for (VertexId t : g.neighbors(v)) {
+            if (r.level[t] == kInfDist) {
+                r.level[t] = r.level[v] + 1;
+                q.push(t);
+            }
+            if (r.level[t] == r.level[v] + 1)
+                r.sigma[t] += r.sigma[v];
+        }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const VertexId v = *it;
+        for (VertexId t : g.neighbors(v)) {
+            if (r.level[t] == r.level[v] + 1 && r.sigma[t] > 0.0)
+                r.delta[v] += r.sigma[v] / r.sigma[t] * (1.0 + r.delta[t]);
+        }
+    }
+    return r;
+}
+
+std::vector<std::uint32_t>
+components(const CsrGraph& g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::uint32_t> parent(n);
+    for (VertexId v = 0; v < n; ++v)
+        parent[v] = v;
+    const auto find = [&parent](VertexId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (VertexId v = 0; v < n; ++v) {
+        for (VertexId t : g.neighbors(v)) {
+            const VertexId rv = find(v);
+            const VertexId rt = find(t);
+            if (rv != rt)
+                parent[std::max(rv, rt)] = std::min(rv, rt);
+        }
+    }
+    std::vector<std::uint32_t> label(n);
+    for (VertexId v = 0; v < n; ++v)
+        label[v] = find(v);
+    return label;
+}
+
+bool
+samePartition(const std::vector<std::uint32_t>& a,
+              const std::vector<std::uint32_t>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    std::unordered_map<std::uint64_t, std::uint32_t> ab, ba;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto [it1, new1] = ab.try_emplace(a[i], b[i]);
+        if (!new1 && it1->second != b[i])
+            return false;
+        const auto [it2, new2] = ba.try_emplace(b[i], a[i]);
+        if (!new2 && it2->second != a[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace gga::ref

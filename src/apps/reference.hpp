@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sequential CPU reference implementations used to validate the simulated
+ * kernels' functional outputs.
+ */
+
+#ifndef GGA_APPS_REFERENCE_HPP
+#define GGA_APPS_REFERENCE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gga::ref {
+
+/** Double-precision PageRank, @p iterations double-buffered sweeps. */
+std::vector<double> pagerank(const CsrGraph& g, std::uint32_t iterations,
+                             double damping = 0.85);
+
+/** Dijkstra distances from @p source using the graph's edge weights. */
+std::vector<std::uint32_t> dijkstra(const CsrGraph& g, VertexId source);
+
+/** Is @p state (1 = in set, 2 = out) a valid maximal independent set? */
+bool validMis(const CsrGraph& g, const std::vector<std::uint32_t>& state);
+
+/** Is @p colors a proper coloring with every vertex colored (!= inf)? */
+bool validColoring(const CsrGraph& g,
+                   const std::vector<std::uint32_t>& colors);
+
+/** Brandes betweenness pieces for one source: level, sigma, delta. */
+struct BcRef
+{
+    std::vector<std::uint32_t> level;
+    std::vector<double> sigma;
+    std::vector<double> delta;
+};
+BcRef brandes(const CsrGraph& g, VertexId source);
+
+/** Connected-component labels via union-find (canonical: min vertex id). */
+std::vector<std::uint32_t> components(const CsrGraph& g);
+
+/** Do two component labelings describe the same partition? */
+bool samePartition(const std::vector<std::uint32_t>& a,
+                   const std::vector<std::uint32_t>& b);
+
+} // namespace gga::ref
+
+#endif // GGA_APPS_REFERENCE_HPP

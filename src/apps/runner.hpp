@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Public entry points: run one (application, graph, configuration)
+ * workload on the simulator and collect timing plus functional outputs.
+ */
+
+#ifndef GGA_APPS_RUNNER_HPP
+#define GGA_APPS_RUNNER_HPP
+
+#include "apps/app.hpp"
+#include "graph/csr.hpp"
+#include "model/algo_props.hpp"
+#include "model/config.hpp"
+#include "sim/params.hpp"
+
+namespace gga {
+
+/** PageRank: kPrIterations double-buffered sweeps. */
+RunResult runPr(const CsrGraph& g, const SystemConfig& cfg,
+                const SimParams& params, AppOutputs* out = nullptr);
+
+/** SSSP: topology-driven Bellman-Ford from vertex 0 to convergence. */
+RunResult runSssp(const CsrGraph& g, const SystemConfig& cfg,
+                  const SimParams& params, AppOutputs* out = nullptr);
+
+/** Maximal independent set: Luby rounds with hashed priorities. */
+RunResult runMis(const CsrGraph& g, const SystemConfig& cfg,
+                 const SimParams& params, AppOutputs* out = nullptr);
+
+/** Greedy parallel graph coloring (Jones-Plassmann style rounds). */
+RunResult runClr(const CsrGraph& g, const SystemConfig& cfg,
+                 const SimParams& params, AppOutputs* out = nullptr);
+
+/** Betweenness centrality pieces for source 0 (forward + backward). */
+RunResult runBc(const CsrGraph& g, const SystemConfig& cfg,
+                const SimParams& params, AppOutputs* out = nullptr);
+
+/** Connected components: ECL-CC-style hook + compress (dynamic). */
+RunResult runCc(const CsrGraph& g, const SystemConfig& cfg,
+                const SimParams& params, AppOutputs* out = nullptr);
+
+/**
+ * Dispatch to the application's runner. Fatal if the configuration's
+ * update-propagation dimension is invalid for the app (CC requires
+ * PushPull; all others require Push or Pull).
+ */
+RunResult runWorkload(AppId app, const CsrGraph& g, const SystemConfig& cfg,
+                      const SimParams& params = SimParams{},
+                      AppOutputs* out = nullptr);
+
+} // namespace gga
+
+#endif // GGA_APPS_RUNNER_HPP

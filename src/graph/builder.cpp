@@ -1,0 +1,76 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace gga {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices) : numVertices_(num_vertices)
+{
+}
+
+void
+GraphBuilder::addEdge(VertexId u, VertexId v)
+{
+    GGA_ASSERT(u < numVertices_ && v < numVertices_,
+               "edge endpoint out of range: ", u, "->", v);
+    srcs_.push_back(u);
+    dsts_.push_back(v);
+}
+
+void
+GraphBuilder::addUndirected(VertexId u, VertexId v)
+{
+    addEdge(u, v);
+    addEdge(v, u);
+}
+
+std::uint32_t
+pairWeight(VertexId u, VertexId v)
+{
+    const VertexId lo = std::min(u, v);
+    const VertexId hi = std::max(u, v);
+    return 1u + static_cast<std::uint32_t>(hashCombine(lo, hi) % 31ull);
+}
+
+CsrGraph
+GraphBuilder::build(bool with_weights) const
+{
+    // Symmetrize: every raw edge contributes both directions; self-loops
+    // are dropped. Dedup happens after sorting per row.
+    std::vector<std::uint64_t> pairs;
+    pairs.reserve(srcs_.size() * 2);
+    for (std::size_t i = 0; i < srcs_.size(); ++i) {
+        const VertexId u = srcs_[i];
+        const VertexId v = dsts_[i];
+        if (u == v)
+            continue;
+        pairs.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+        pairs.push_back((static_cast<std::uint64_t>(v) << 32) | u);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(numVertices_) + 1, 0);
+    for (std::uint64_t p : pairs)
+        offsets[(p >> 32) + 1]++;
+    for (std::size_t v = 0; v < numVertices_; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<VertexId> cols(pairs.size());
+    std::vector<std::uint32_t> weights;
+    if (with_weights)
+        weights.resize(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        cols[i] = static_cast<VertexId>(pairs[i] & 0xffffffffu);
+        if (with_weights) {
+            weights[i] =
+                pairWeight(static_cast<VertexId>(pairs[i] >> 32), cols[i]);
+        }
+    }
+    return CsrGraph(std::move(offsets), std::move(cols), std::move(weights));
+}
+
+} // namespace gga

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Edge-list accumulator that produces canonical CsrGraph instances.
+ */
+
+#ifndef GGA_GRAPH_BUILDER_HPP
+#define GGA_GRAPH_BUILDER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace gga {
+
+/**
+ * Collects (possibly duplicated, possibly self-looping, possibly one-sided)
+ * edges and builds a deduplicated CSR. Matches the paper's input
+ * canonicalization: self-edges removed, graph converted to directed
+ * symmetric form (Sec. V-A).
+ */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(VertexId num_vertices);
+
+    /** Add a directed edge u->v (duplicates and self-loops filtered later). */
+    void addEdge(VertexId u, VertexId v);
+
+    /** Add both u->v and v->u. */
+    void addUndirected(VertexId u, VertexId v);
+
+    VertexId numVertices() const { return numVertices_; }
+
+    /** Number of raw (pre-canonicalization) directed edges added so far. */
+    std::size_t numRawEdges() const { return srcs_.size(); }
+
+    /**
+     * Build the canonical graph: drop self-loops, symmetrize, dedupe, sort
+     * adjacency lists.
+     *
+     * @param with_weights derive deterministic per-undirected-pair weights
+     *        in [1, 31] from a hash of the endpoint ids (both directions of
+     *        a pair share the weight, as an undirected weighted graph
+     *        requires).
+     */
+    CsrGraph build(bool with_weights = false) const;
+
+  private:
+    VertexId numVertices_;
+    std::vector<VertexId> srcs_;
+    std::vector<VertexId> dsts_;
+};
+
+/** Deterministic weight in [1, 31] for the undirected pair {u, v}. */
+std::uint32_t pairWeight(VertexId u, VertexId v);
+
+} // namespace gga
+
+#endif // GGA_GRAPH_BUILDER_HPP

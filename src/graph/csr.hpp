@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Compressed-sparse-row graph representation.
+ *
+ * Following the paper's methodology (Sec. V-A), every input is a *directed,
+ * symmetric* graph with self-edges removed, so the same CSR serves as both
+ * the out-edge (push) and in-edge (pull) view.
+ */
+
+#ifndef GGA_GRAPH_CSR_HPP
+#define GGA_GRAPH_CSR_HPP
+
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace gga {
+
+/**
+ * An immutable CSR graph. Edges are directed; the builders in this library
+ * always produce symmetric edge sets (u->v present iff v->u present).
+ */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Construct from raw CSR arrays.
+     *
+     * @param row_offsets |V|+1 monotone offsets into col_indices.
+     * @param col_indices edge targets, sorted within each row.
+     * @param weights optional per-edge weights (same length as col_indices).
+     */
+    CsrGraph(std::vector<EdgeId> row_offsets,
+             std::vector<VertexId> col_indices,
+             std::vector<std::uint32_t> weights = {});
+
+    /** Number of vertices. */
+    VertexId numVertices() const { return numVertices_; }
+
+    /** Number of directed edges (2x the undirected pair count). */
+    EdgeId numEdges() const { return static_cast<EdgeId>(colIndices_.size()); }
+
+    /** Out-degree (== in-degree for symmetric graphs). */
+    std::uint32_t
+    degree(VertexId v) const
+    {
+        return rowOffsets_[v + 1] - rowOffsets_[v];
+    }
+
+    /** First edge index of vertex v's adjacency list. */
+    EdgeId edgeBegin(VertexId v) const { return rowOffsets_[v]; }
+
+    /** One-past-last edge index of vertex v's adjacency list. */
+    EdgeId edgeEnd(VertexId v) const { return rowOffsets_[v + 1]; }
+
+    /** Neighbors of v as a span. */
+    std::span<const VertexId>
+    neighbors(VertexId v) const
+    {
+        return {colIndices_.data() + rowOffsets_[v], degree(v)};
+    }
+
+    /** Target of directed edge e. */
+    VertexId edgeTarget(EdgeId e) const { return colIndices_[e]; }
+
+    /** Weight of directed edge e (graphs without weights report 1). */
+    std::uint32_t
+    edgeWeight(EdgeId e) const
+    {
+        return weights_.empty() ? 1u : weights_[e];
+    }
+
+    bool hasWeights() const { return !weights_.empty(); }
+
+    /** Average degree |E|/|V| (0 for empty graphs). */
+    double avgDegree() const;
+
+    /** Raw arrays (used by the simulator to place graph data in memory). */
+    const std::vector<EdgeId>& rowOffsets() const { return rowOffsets_; }
+    const std::vector<VertexId>& colIndices() const { return colIndices_; }
+    const std::vector<std::uint32_t>& weights() const { return weights_; }
+
+    /** True if for every edge u->v the reverse edge v->u exists. */
+    bool isSymmetric() const;
+
+    /** True if no vertex has an edge to itself. */
+    bool hasNoSelfLoops() const;
+
+  private:
+    VertexId numVertices_ = 0;
+    std::vector<EdgeId> rowOffsets_{0};
+    std::vector<VertexId> colIndices_;
+    std::vector<std::uint32_t> weights_;
+};
+
+} // namespace gga
+
+#endif // GGA_GRAPH_CSR_HPP

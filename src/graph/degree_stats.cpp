@@ -1,0 +1,30 @@
+#include "graph/degree_stats.hpp"
+
+#include <cmath>
+
+namespace gga {
+
+DegreeStats
+computeDegreeStats(const CsrGraph& g)
+{
+    DegreeStats s;
+    const VertexId n = g.numVertices();
+    if (n == 0)
+        return s;
+    double sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+        const std::uint32_t d = g.degree(v);
+        s.maxDegree = std::max(s.maxDegree, d);
+        sum += d;
+    }
+    s.avgDegree = sum / n;
+    double var = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+        const double d = g.degree(v) - s.avgDegree;
+        var += d * d;
+    }
+    s.stddevDegree = std::sqrt(var / n);
+    return s;
+}
+
+} // namespace gga

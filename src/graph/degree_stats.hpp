@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Degree-distribution statistics (the "Max Deg / Avg Deg / Std Dev" columns
+ * of the paper's Table II).
+ */
+
+#ifndef GGA_GRAPH_DEGREE_STATS_HPP
+#define GGA_GRAPH_DEGREE_STATS_HPP
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace gga {
+
+/** Degree distribution summary of a graph. */
+struct DegreeStats
+{
+    std::uint32_t maxDegree = 0;
+    double avgDegree = 0.0;
+    double stddevDegree = 0.0;
+};
+
+/** Compute degree statistics over all vertices. */
+DegreeStats computeDegreeStats(const CsrGraph& g);
+
+} // namespace gga
+
+#endif // GGA_GRAPH_DEGREE_STATS_HPP

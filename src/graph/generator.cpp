@@ -1,0 +1,345 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace gga {
+
+namespace {
+
+/** Canonical key for an undirected pair. */
+inline std::uint64_t
+pairKey(VertexId a, VertexId b)
+{
+    const VertexId lo = std::min(a, b);
+    const VertexId hi = std::max(a, b);
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/** Mutable pair-set during synthesis: O(1) membership + random removal. */
+class PairSet
+{
+  public:
+    bool
+    insert(VertexId a, VertexId b, bool protect)
+    {
+        const std::uint64_t key = pairKey(a, b);
+        if (!set_.insert(key).second)
+            return false;
+        list_.push_back(key);
+        if (protect)
+            protected_.insert(key);
+        return true;
+    }
+
+    bool contains(VertexId a, VertexId b) const
+    {
+        return set_.count(pairKey(a, b)) != 0;
+    }
+
+    std::size_t size() const { return list_.size(); }
+
+    /** Remove a random unprotected pair; returns it, or 0 on failure. */
+    std::uint64_t
+    removeRandom(Xoshiro256StarStar& rng)
+    {
+        for (int attempts = 0; attempts < 256; ++attempts) {
+            const std::size_t i = rng.nextBounded(list_.size());
+            const std::uint64_t key = list_[i];
+            if (protected_.count(key))
+                continue;
+            list_[i] = list_.back();
+            list_.pop_back();
+            set_.erase(key);
+            return key;
+        }
+        return 0;
+    }
+
+    const std::vector<std::uint64_t>& pairs() const { return list_; }
+
+  private:
+    std::unordered_set<std::uint64_t> set_;
+    std::unordered_set<std::uint64_t> protected_;
+    std::vector<std::uint64_t> list_;
+};
+
+/** Draw one target degree from the spec's distribution. */
+double
+drawDegree(const GenSpec& spec, Xoshiro256StarStar& rng)
+{
+    switch (spec.dist) {
+      case DegreeDist::Regular:
+        return spec.p1;
+      case DegreeDist::LogNormal:
+        return std::exp(spec.p1 + spec.p2 * rng.nextGaussian());
+      case DegreeDist::PowerLaw: {
+        // Inverse-CDF sampling of P(d) ~ d^-alpha for d >= dmin.
+        const double alpha = spec.p1;
+        const double dmin = spec.p2;
+        const double u = rng.nextDouble();
+        return dmin * std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+      }
+    }
+    GGA_PANIC("unknown degree distribution");
+}
+
+/** Stochastic rounding: floor(x) + Bernoulli(frac(x)). */
+std::uint32_t
+stochRound(double x, Xoshiro256StarStar& rng)
+{
+    if (x <= 0.0)
+        return 0;
+    const double fl = std::floor(x);
+    const double frac = x - fl;
+    return static_cast<std::uint32_t>(fl) + (rng.nextDouble() < frac ? 1 : 0);
+}
+
+/** Degree-biased vertex sampler over a static weight array. */
+class BiasedSampler
+{
+  public:
+    explicit BiasedSampler(const std::vector<double>& weights)
+    {
+        cum_.reserve(weights.size());
+        double acc = 0.0;
+        for (double w : weights) {
+            acc += w;
+            cum_.push_back(acc);
+        }
+        total_ = acc;
+    }
+
+    VertexId
+    draw(Xoshiro256StarStar& rng) const
+    {
+        const double x = rng.nextDouble() * total_;
+        const auto it = std::upper_bound(cum_.begin(), cum_.end(), x);
+        const std::size_t i = static_cast<std::size_t>(it - cum_.begin());
+        return static_cast<VertexId>(std::min(i, cum_.size() - 1));
+    }
+
+  private:
+    std::vector<double> cum_;
+    double total_ = 0.0;
+};
+
+void
+synthesizeDegreeDriven(const GenSpec& spec, Xoshiro256StarStar& rng,
+                       PairSet& pairs)
+{
+    const VertexId n = spec.numVertices;
+
+    // 1. Target degrees, descending (clustered hubs).
+    std::vector<double> degree(n);
+    for (auto& d : degree) {
+        d = std::clamp(drawDegree(spec, rng), 1.0,
+                       static_cast<double>(spec.maxDegree));
+    }
+    std::sort(degree.begin(), degree.end(), std::greater<>());
+
+    // Pin the published maximum degree: a short geometric ramp of "forced"
+    // hubs that will initiate their entire target degree themselves.
+    std::vector<char> forced(n, 0);
+    if (spec.forceTopDegrees) {
+        double d = spec.maxDegree;
+        for (VertexId i = 0; i < std::min<VertexId>(16, n); ++i) {
+            degree[i] = std::max(degree[i], d);
+            forced[i] = 1;
+            d *= 0.72;
+        }
+    }
+
+    // 2. Hub placement.
+    if (spec.fullShuffle) {
+        for (VertexId i = n; i > 1; --i) {
+            const auto j = rng.nextBounded(i);
+            std::swap(degree[i - 1], degree[j]);
+            std::swap(forced[i - 1], forced[j]);
+        }
+    } else {
+        const std::uint32_t pool = std::min<std::uint32_t>(spec.hubPoolSize, n);
+        for (std::uint32_t s = 0; s < spec.scatterHubCount && pool > 0; ++s) {
+            const auto a = rng.nextBounded(pool);
+            const auto b = rng.nextBounded(n);
+            std::swap(degree[a], degree[b]);
+            std::swap(forced[a], forced[b]);
+        }
+    }
+
+    // 3. Connectivity backbone: random-ancestor tree. Uniform ancestors
+    // give ~log(n) depth; banded ancestors keep the backbone index-local
+    // (depth ~ n/band) with evenly spread children.
+    if (spec.backbone) {
+        for (VertexId u = 1; u < n; ++u) {
+            VertexId anc;
+            if (spec.backboneBand > 0) {
+                const std::uint64_t span =
+                    std::min<std::uint64_t>(spec.backboneBand, u);
+                anc = u - 1 - static_cast<VertexId>(rng.nextBounded(span));
+            } else {
+                anc = static_cast<VertexId>(rng.nextBounded(u));
+            }
+            pairs.insert(u, anc, true);
+        }
+    }
+
+    BiasedSampler global(degree);
+    std::vector<std::uint32_t> curDeg(n, 0);
+    if (spec.backbone) {
+        for (std::uint64_t key : pairs.pairs()) {
+            curDeg[key >> 32]++;
+            curDeg[key & 0xffffffffu]++;
+        }
+    }
+
+    // 4. Locality-controlled stub initiation. Regular vertices initiate
+    // half their degree (the other half arrives via degree-biased partner
+    // selection); forced hubs initiate everything since the thin global
+    // fraction of some presets cannot feed them.
+    const double backbone_share = spec.backbone ? 1.0 : 0.0;
+    for (VertexId u = 0; u < n; ++u) {
+        const double init_frac = forced[u] ? 1.0 : 0.5;
+        const std::uint32_t budget =
+            stochRound(degree[u] * init_frac - backbone_share, rng);
+        for (std::uint32_t i = 0; i < budget; ++i) {
+            if (curDeg[u] >= spec.maxDegree)
+                break;
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                // The last attempts fall back to global partners so hub
+                // blocks that saturate locally still place their stubs.
+                const double r =
+                    attempt >= 6 ? 1.0 : rng.nextDouble();
+                VertexId v;
+                if (r < spec.fracIntraBlock) {
+                    const VertexId block = u / spec.blockSize;
+                    const VertexId lo = block * spec.blockSize;
+                    const VertexId span =
+                        std::min<VertexId>(spec.blockSize, n - lo);
+                    v = lo + static_cast<VertexId>(rng.nextBounded(span));
+                } else if (r < spec.fracIntraBlock + spec.fracBand) {
+                    const auto off =
+                        1 + static_cast<std::int64_t>(
+                                rng.nextBounded(spec.bandWidth));
+                    const std::int64_t signedv =
+                        (rng.next() & 1) ? static_cast<std::int64_t>(u) + off
+                                         : static_cast<std::int64_t>(u) - off;
+                    if (signedv < 0 || signedv >= static_cast<std::int64_t>(n))
+                        continue;
+                    v = static_cast<VertexId>(signedv);
+                } else {
+                    v = global.draw(rng);
+                }
+                if (v == u || curDeg[v] >= spec.maxDegree ||
+                    pairs.contains(u, v)) {
+                    continue;
+                }
+                pairs.insert(u, v, false);
+                curDeg[u]++;
+                curDeg[v]++;
+                break;
+            }
+        }
+    }
+}
+
+void
+synthesizeGrid2d(const GenSpec& spec, Xoshiro256StarStar& rng, PairSet& pairs)
+{
+    const std::uint64_t rows = spec.gridRows;
+    const std::uint64_t cols = spec.gridCols;
+    const std::uint64_t grid_n = rows * cols;
+    GGA_ASSERT(grid_n <= spec.numVertices,
+               "grid larger than vertex budget in spec ", spec.name);
+
+    // Label permutation (identity when disabled).
+    std::vector<VertexId> label(spec.numVertices);
+    for (VertexId i = 0; i < spec.numVertices; ++i)
+        label[i] = i;
+    if (spec.permuteLabels) {
+        for (VertexId i = spec.numVertices; i > 1; --i) {
+            const auto j = rng.nextBounded(i);
+            std::swap(label[i - 1], label[j]);
+        }
+    }
+
+    auto at = [&](std::uint64_t r, std::uint64_t c) {
+        return label[static_cast<VertexId>(r * cols + c)];
+    };
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        for (std::uint64_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                pairs.insert(at(r, c), at(r, c + 1), false);
+            if (r + 1 < rows)
+                pairs.insert(at(r, c), at(r + 1, c), false);
+        }
+    }
+
+    // Pendant vertices (exact |V|): attach each to a distinct border
+    // vertex (degree <= 3) so the mesh's maximum degree stays 4. The
+    // single edge is protected so trimming cannot disconnect it.
+    const std::uint64_t pendants = spec.numVertices - grid_n;
+    const std::uint64_t stride = pendants ? std::max<std::uint64_t>(
+                                                1, cols / (pendants + 1))
+                                          : 1;
+    for (std::uint64_t i = 0; i < pendants; ++i) {
+        const auto p = static_cast<VertexId>(grid_n + i);
+        const std::uint64_t c = std::min(cols - 2, 1 + i * stride);
+        pairs.insert(label[p], at(0, c), true);
+    }
+}
+
+} // namespace
+
+CsrGraph
+generateGraph(const GenSpec& spec)
+{
+    GGA_ASSERT(spec.numVertices > 1, "graph needs >= 2 vertices");
+    GGA_ASSERT(spec.numDirectedEdges % 2 == 0,
+               "directed edge target must be even (symmetric graph)");
+
+    Xoshiro256StarStar rng(hashCombine(spec.seed, 0x66a51ull));
+
+    PairSet pairs;
+    switch (spec.topology) {
+      case Topology::DegreeDriven:
+        synthesizeDegreeDriven(spec, rng, pairs);
+        break;
+      case Topology::Grid2d:
+        synthesizeGrid2d(spec, rng, pairs);
+        break;
+    }
+
+    // Trim or pad to the exact undirected pair target.
+    const std::size_t target_pairs = spec.numDirectedEdges / 2;
+    while (pairs.size() > target_pairs) {
+        if (pairs.removeRandom(rng) == 0)
+            GGA_FATAL("cannot trim graph ", spec.name,
+                      ": too many protected pairs");
+    }
+    std::size_t pad_failures = 0;
+    while (pairs.size() < target_pairs) {
+        const auto a = static_cast<VertexId>(rng.nextBounded(spec.numVertices));
+        const auto b = static_cast<VertexId>(rng.nextBounded(spec.numVertices));
+        if (a == b || !pairs.insert(a, b, false)) {
+            if (++pad_failures > 64 * target_pairs)
+                GGA_FATAL("cannot pad graph ", spec.name, " to ",
+                          target_pairs, " pairs");
+        }
+    }
+
+    GraphBuilder builder(spec.numVertices);
+    for (std::uint64_t key : pairs.pairs()) {
+        builder.addEdge(static_cast<VertexId>(key >> 32),
+                        static_cast<VertexId>(key & 0xffffffffu));
+    }
+    return builder.build(/*with_weights=*/true);
+}
+
+} // namespace gga

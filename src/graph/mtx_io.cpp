@@ -1,0 +1,112 @@
+#include "graph/mtx_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "support/log.hpp"
+
+namespace gga {
+
+namespace {
+
+std::string
+lower(std::string s)
+{
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace
+
+CsrGraph
+readMatrixMarket(std::istream& in, bool with_weights)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        GGA_FATAL("empty MatrixMarket stream");
+
+    std::istringstream hdr(line);
+    std::string banner, object, format, field, symmetry;
+    hdr >> banner >> object >> format >> field >> symmetry;
+    if (lower(banner) != "%%matrixmarket")
+        GGA_FATAL("not a MatrixMarket stream: ", line);
+    if (lower(object) != "matrix" || lower(format) != "coordinate")
+        GGA_FATAL("only 'matrix coordinate' supported, got: ", line);
+    const std::string f = lower(field);
+    if (f != "pattern" && f != "real" && f != "integer")
+        GGA_FATAL("unsupported field type: ", field);
+    const std::string sym = lower(symmetry);
+    if (sym != "general" && sym != "symmetric")
+        GGA_FATAL("unsupported symmetry: ", symmetry);
+
+    // Skip comments and blank lines to the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream size_line(line);
+    std::uint64_t rows = 0, cols = 0, nnz = 0;
+    size_line >> rows >> cols >> nnz;
+    if (rows == 0 || cols == 0)
+        GGA_FATAL("bad MatrixMarket size line: ", line);
+    if (rows != cols)
+        GGA_FATAL("adjacency matrix must be square, got ", rows, "x", cols);
+
+    GraphBuilder builder(static_cast<VertexId>(rows));
+    std::uint64_t seen = 0;
+    while (seen < nnz && std::getline(in, line)) {
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream row(line);
+        std::uint64_t r = 0, c = 0;
+        row >> r >> c;
+        if (r == 0 || c == 0 || r > rows || c > cols)
+            GGA_FATAL("bad MatrixMarket entry: ", line);
+        // Values (real/integer) are ignored; builder symmetrizes anyway.
+        builder.addEdge(static_cast<VertexId>(r - 1),
+                        static_cast<VertexId>(c - 1));
+        ++seen;
+    }
+    if (seen != nnz)
+        GGA_FATAL("MatrixMarket stream truncated: expected ", nnz,
+                  " entries, got ", seen);
+    return builder.build(with_weights);
+}
+
+CsrGraph
+readMatrixMarketFile(const std::string& path, bool with_weights)
+{
+    std::ifstream in(path);
+    if (!in)
+        GGA_FATAL("cannot open MatrixMarket file: ", path);
+    return readMatrixMarket(in, with_weights);
+}
+
+void
+writeMatrixMarket(std::ostream& out, const CsrGraph& g)
+{
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+    out << "% written by GGA-Sim\n";
+    // Count undirected pairs (u > v once each; symmetric graph).
+    std::uint64_t pairs = 0;
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        for (VertexId v : g.neighbors(u)) {
+            if (v < u)
+                ++pairs;
+        }
+    }
+    out << g.numVertices() << ' ' << g.numVertices() << ' ' << pairs << '\n';
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        for (VertexId v : g.neighbors(u)) {
+            if (v < u)
+                out << (u + 1) << ' ' << (v + 1) << '\n';
+        }
+    }
+}
+
+} // namespace gga

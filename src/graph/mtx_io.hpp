@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MatrixMarket coordinate-format IO, so the real SuiteSparse inputs used by
+ * the paper (amazon0601, ..., wing) can be dropped in place of the synthetic
+ * presets when available.
+ */
+
+#ifndef GGA_GRAPH_MTX_IO_HPP
+#define GGA_GRAPH_MTX_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace gga {
+
+/**
+ * Parse a MatrixMarket "matrix coordinate" stream into a canonical graph
+ * (symmetrized, self-loops removed). Supports pattern/real/integer fields
+ * and general/symmetric symmetry. Numeric values are ignored; use
+ * @p with_weights to attach the library's deterministic weights.
+ *
+ * Calls GGA_FATAL on malformed input.
+ */
+CsrGraph readMatrixMarket(std::istream& in, bool with_weights = false);
+
+/** Convenience overload reading from a file path. */
+CsrGraph readMatrixMarketFile(const std::string& path,
+                              bool with_weights = false);
+
+/**
+ * Write a graph as "matrix coordinate pattern symmetric": each undirected
+ * pair emitted once with 1-based indices.
+ */
+void writeMatrixMarket(std::ostream& out, const CsrGraph& g);
+
+} // namespace gga
+
+#endif // GGA_GRAPH_MTX_IO_HPP

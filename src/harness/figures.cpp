@@ -1,0 +1,47 @@
+#include "harness/figures.hpp"
+
+#include "support/stats.hpp"
+
+namespace gga {
+
+std::vector<std::string>
+breakdownCells(const RunResult& run, double baseline_cycles)
+{
+    const double total = run.breakdown.total();
+    std::vector<std::string> cells;
+    cells.push_back(fmtDouble(run.cycles / baseline_cycles, 3));
+    cells.push_back(fmtPct(run.breakdown.busy / total));
+    cells.push_back(fmtPct(run.breakdown.comp / total));
+    cells.push_back(fmtPct(run.breakdown.data / total));
+    cells.push_back(fmtPct(run.breakdown.sync / total));
+    cells.push_back(fmtPct(run.breakdown.idle / total));
+    return cells;
+}
+
+void
+addSweepRows(TextTable& table, const SweepResult& sweep)
+{
+    const double baseline = static_cast<double>(sweep.baselineCycles);
+    for (const ConfigResult& r : sweep.results) {
+        std::string tag;
+        if (r.config == sweep.best)
+            tag += "BEST ";
+        if (r.config == sweep.predicted)
+            tag += "PRED";
+        std::vector<std::string> cells{sweep.workload.name(),
+                                       r.config.name()};
+        for (std::string& c : breakdownCells(r.run, baseline))
+            cells.push_back(std::move(c));
+        cells.push_back(std::to_string(r.run.cycles));
+        cells.push_back(tag);
+        table.addRow(std::move(cells));
+    }
+}
+
+double
+geomeanNormalized(const std::vector<double>& normalized)
+{
+    return geomean(normalized);
+}
+
+} // namespace gga

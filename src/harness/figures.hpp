@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table/figure assembly helpers shared by the bench binaries.
+ */
+
+#ifndef GGA_HARNESS_FIGURES_HPP
+#define GGA_HARNESS_FIGURES_HPP
+
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "support/table.hpp"
+
+namespace gga {
+
+/**
+ * Append one row per configuration of @p sweep: normalized execution time
+ * (to the workload's baseline) with the Busy/Comp/Data/Sync/Idle split,
+ * tagging the BEST and PRED configurations.
+ */
+void addSweepRows(TextTable& table, const SweepResult& sweep);
+
+/** Cells for one run: norm, busy%, comp%, data%, sync%, idle%. */
+std::vector<std::string> breakdownCells(const RunResult& run,
+                                        double baseline_cycles);
+
+/** Geometric-mean normalized time of a set of (cycles, baseline) pairs. */
+double geomeanNormalized(const std::vector<double>& normalized);
+
+} // namespace gga
+
+#endif // GGA_HARNESS_FIGURES_HPP

@@ -1,0 +1,73 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+const ConfigResult*
+SweepResult::find(const SystemConfig& cfg) const
+{
+    for (const ConfigResult& r : results) {
+        if (r.config == cfg)
+            return &r;
+    }
+    return nullptr;
+}
+
+SystemConfig
+baselineConfig(const Workload& workload)
+{
+    return workload.dynamic() ? parseConfig("DG1") : parseConfig("TG0");
+}
+
+SystemConfig
+predictWorkload(const Workload& workload, const SimParams& params)
+{
+    GpuGeometry geom;
+    geom.numSms = params.numSms;
+    geom.threadBlockSize = params.threadBlockSize;
+    geom.warpSize = params.warpSize;
+    geom.l1KiB = params.l1SizeKiB;
+    geom.l2KiB = params.l2SizeKiB;
+    const TaxonomyProfile profile =
+        profileGraph(workloadGraph(workload.graph), geom);
+    return predictFullDesignSpace(profile, algoProperties(workload.app));
+}
+
+SweepResult
+sweepWorkload(const Workload& workload, std::vector<SystemConfig> configs,
+              const SimParams& params)
+{
+    SweepResult sweep;
+    sweep.workload = workload;
+    sweep.predicted = predictWorkload(workload, params);
+
+    auto ensure = [&configs](const SystemConfig& cfg) {
+        if (std::find(configs.begin(), configs.end(), cfg) == configs.end())
+            configs.push_back(cfg);
+    };
+    ensure(baselineConfig(workload));
+    ensure(sweep.predicted);
+
+    const CsrGraph& graph = workloadGraph(workload.graph);
+    for (const SystemConfig& cfg : configs) {
+        GGA_INFORM("running ", workload.name(), " on ", cfg.name());
+        ConfigResult r{cfg, runWorkload(workload.app, graph, cfg, params)};
+        sweep.results.push_back(std::move(r));
+    }
+
+    const ConfigResult* best = &sweep.results.front();
+    for (const ConfigResult& r : sweep.results) {
+        if (r.run.cycles < best->run.cycles)
+            best = &r;
+    }
+    sweep.best = best->config;
+    sweep.bestCycles = best->run.cycles;
+    sweep.predictedCycles = sweep.find(sweep.predicted)->run.cycles;
+    sweep.baselineCycles = sweep.find(baselineConfig(workload))->run.cycles;
+    return sweep;
+}
+
+} // namespace gga

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Design-space sweeps: run a workload across configuration sets, find the
+ * empirical BEST, and pair it with the model's PRED.
+ */
+
+#ifndef GGA_HARNESS_SWEEP_HPP
+#define GGA_HARNESS_SWEEP_HPP
+
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "harness/workloads.hpp"
+#include "model/decision_tree.hpp"
+#include "taxonomy/profile.hpp"
+
+namespace gga {
+
+/** One configuration's outcome for a workload. */
+struct ConfigResult
+{
+    SystemConfig config;
+    RunResult run;
+};
+
+/** A full sweep of one workload. */
+struct SweepResult
+{
+    Workload workload;
+    std::vector<ConfigResult> results;
+    SystemConfig best;       ///< lowest-cycle configuration in the sweep
+    SystemConfig predicted;  ///< the model's choice (full design space)
+    Cycles bestCycles = 0;
+    Cycles predictedCycles = 0;
+    Cycles baselineCycles = 0; ///< TG0 (DG1 for dynamic apps)
+
+    const ConfigResult* find(const SystemConfig& cfg) const;
+};
+
+/**
+ * Run @p workload under every configuration in @p configs (must include
+ * the model's prediction and the baseline, or they are added), and fill
+ * in BEST/PRED.
+ */
+SweepResult sweepWorkload(const Workload& workload,
+                          std::vector<SystemConfig> configs,
+                          const SimParams& params = SimParams{});
+
+/** The baseline configuration a workload's Fig. 5 group normalizes to. */
+SystemConfig baselineConfig(const Workload& workload);
+
+/** The model's prediction for a workload (full design space). */
+SystemConfig predictWorkload(const Workload& workload,
+                             const SimParams& params = SimParams{});
+
+} // namespace gga
+
+#endif // GGA_HARNESS_SWEEP_HPP

@@ -1,0 +1,52 @@
+#include "harness/workloads.hpp"
+
+#include <cstdlib>
+#include <map>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+std::vector<Workload>
+allWorkloads()
+{
+    std::vector<Workload> out;
+    for (AppId app : kAllApps) {
+        for (GraphPreset g : kAllGraphPresets)
+            out.push_back({app, g});
+    }
+    return out;
+}
+
+double
+evaluationScale()
+{
+    static const double scale = [] {
+        const char* env = std::getenv("GGA_SCALE");
+        if (!env)
+            return 1.0;
+        const double s = std::atof(env);
+        if (s <= 0.0 || s > 1.0)
+            GGA_FATAL("GGA_SCALE must be in (0, 1], got '", env, "'");
+        if (s < 1.0)
+            GGA_WARN("GGA_SCALE=", s, ": inputs are scaled down; results "
+                     "are not the paper-sized evaluation");
+        return s;
+    }();
+    return scale;
+}
+
+const CsrGraph&
+workloadGraph(GraphPreset p)
+{
+    const double scale = evaluationScale();
+    if (scale >= 1.0)
+        return presetGraph(p);
+    static std::map<GraphPreset, CsrGraph> cache;
+    auto it = cache.find(p);
+    if (it == cache.end())
+        it = cache.emplace(p, buildPresetScaled(p, scale)).first;
+    return it->second;
+}
+
+} // namespace gga

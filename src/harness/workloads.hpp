@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Workload registry: the 6 applications x 6 inputs of the evaluation, and
+ * the per-workload configuration sets (full space and the Fig. 5 subset).
+ */
+
+#ifndef GGA_HARNESS_WORKLOADS_HPP
+#define GGA_HARNESS_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/presets.hpp"
+#include "model/algo_props.hpp"
+#include "model/config.hpp"
+
+namespace gga {
+
+/** One (application, input) pair. */
+struct Workload
+{
+    AppId app;
+    GraphPreset graph;
+
+    std::string
+    name() const
+    {
+        return appName(app) + "-" + presetName(graph);
+    }
+
+    bool
+    dynamic() const
+    {
+        return algoProperties(app).traversal == TraversalKind::Dynamic;
+    }
+};
+
+/** All 36 workloads in paper order (apps major, inputs minor). */
+std::vector<Workload> allWorkloads();
+
+/**
+ * The global scale factor for evaluation runs, from the GGA_SCALE
+ * environment variable (default 1.0 = the paper's full-size inputs).
+ * Values below 1 shrink every input proportionally for quick passes.
+ */
+double evaluationScale();
+
+/** The (possibly scaled) input graph of a workload. */
+const CsrGraph& workloadGraph(GraphPreset p);
+
+} // namespace gga
+
+#endif // GGA_HARNESS_WORKLOADS_HPP

@@ -1,0 +1,147 @@
+#include "model/config.hpp"
+
+#include "support/log.hpp"
+
+namespace gga {
+
+char
+propChar(UpdateProp p)
+{
+    switch (p) {
+      case UpdateProp::Pull:
+        return 'T';
+      case UpdateProp::Push:
+        return 'S';
+      case UpdateProp::PushPull:
+        return 'D';
+    }
+    return '?';
+}
+
+char
+cohChar(CoherenceKind c)
+{
+    return c == CoherenceKind::Gpu ? 'G' : 'D';
+}
+
+char
+conChar(ConsistencyKind c)
+{
+    switch (c) {
+      case ConsistencyKind::Drf0:
+        return '0';
+      case ConsistencyKind::Drf1:
+        return '1';
+      case ConsistencyKind::DrfRlx:
+        return 'R';
+    }
+    return '?';
+}
+
+const std::string&
+propLabel(UpdateProp p)
+{
+    static const std::string labels[] = {"Pull", "Push", "Push+Pull"};
+    return labels[static_cast<int>(p)];
+}
+
+const std::string&
+cohLabel(CoherenceKind c)
+{
+    static const std::string labels[] = {"GPU", "DeNovo"};
+    return labels[static_cast<int>(c)];
+}
+
+const std::string&
+conLabel(ConsistencyKind c)
+{
+    static const std::string labels[] = {"DRF0", "DRF1", "DRFrlx"};
+    return labels[static_cast<int>(c)];
+}
+
+std::string
+SystemConfig::name() const
+{
+    return std::string{propChar(prop), cohChar(coh), conChar(con)};
+}
+
+SystemConfig
+parseConfig(const std::string& name)
+{
+    if (name.size() != 3)
+        GGA_FATAL("bad config name: '", name, "'");
+    SystemConfig c;
+    switch (name[0]) {
+      case 'T':
+        c.prop = UpdateProp::Pull;
+        break;
+      case 'S':
+        c.prop = UpdateProp::Push;
+        break;
+      case 'D':
+        c.prop = UpdateProp::PushPull;
+        break;
+      default:
+        GGA_FATAL("bad update-propagation code in '", name, "'");
+    }
+    switch (name[1]) {
+      case 'G':
+        c.coh = CoherenceKind::Gpu;
+        break;
+      case 'D':
+        c.coh = CoherenceKind::DeNovo;
+        break;
+      default:
+        GGA_FATAL("bad coherence code in '", name, "'");
+    }
+    switch (name[2]) {
+      case '0':
+        c.con = ConsistencyKind::Drf0;
+        break;
+      case '1':
+        c.con = ConsistencyKind::Drf1;
+        break;
+      case 'R':
+        c.con = ConsistencyKind::DrfRlx;
+        break;
+      default:
+        GGA_FATAL("bad consistency code in '", name, "'");
+    }
+    return c;
+}
+
+std::vector<SystemConfig>
+allConfigs(bool dynamic_traversal)
+{
+    std::vector<SystemConfig> out;
+    const std::vector<UpdateProp> props =
+        dynamic_traversal
+            ? std::vector<UpdateProp>{UpdateProp::PushPull}
+            : std::vector<UpdateProp>{UpdateProp::Pull, UpdateProp::Push};
+    for (UpdateProp p : props) {
+        for (CoherenceKind coh : {CoherenceKind::Gpu, CoherenceKind::DeNovo}) {
+            for (ConsistencyKind con :
+                 {ConsistencyKind::Drf0, ConsistencyKind::Drf1,
+                  ConsistencyKind::DrfRlx}) {
+                out.push_back({p, coh, con});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<SystemConfig>
+figureConfigs(bool dynamic_traversal)
+{
+    std::vector<SystemConfig> out;
+    if (dynamic_traversal) {
+        for (const char* n : {"DG1", "DGR", "DD1", "DDR"})
+            out.push_back(parseConfig(n));
+    } else {
+        for (const char* n : {"TG0", "SG1", "SGR", "SD1", "SDR"})
+            out.push_back(parseConfig(n));
+    }
+    return out;
+}
+
+} // namespace gga

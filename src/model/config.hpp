@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The hardware+software design space of the paper (Table I): update
+ * propagation x coherence x consistency, and the compact configuration
+ * naming used throughout the evaluation ("TG0", "SGR", "DD1", ...).
+ */
+
+#ifndef GGA_MODEL_CONFIG_HPP
+#define GGA_MODEL_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/design_dims.hpp"
+
+namespace gga {
+
+/** One point in the 12-point design space. */
+struct SystemConfig
+{
+    UpdateProp prop = UpdateProp::Pull;
+    CoherenceKind coh = CoherenceKind::Gpu;
+    ConsistencyKind con = ConsistencyKind::Drf0;
+
+    bool operator==(const SystemConfig&) const = default;
+
+    /** Compact paper-style name, e.g. "SGR". */
+    std::string name() const;
+};
+
+/** Single-letter code of each dimension value. */
+char propChar(UpdateProp p);
+char cohChar(CoherenceKind c);
+char conChar(ConsistencyKind c);
+
+/** Long-form label of each dimension value ("Push", "DeNovo", "DRFrlx"). */
+const std::string& propLabel(UpdateProp p);
+const std::string& cohLabel(CoherenceKind c);
+const std::string& conLabel(ConsistencyKind c);
+
+/** Parse "SGR"-style names; fatal on malformed input. */
+SystemConfig parseConfig(const std::string& name);
+
+/**
+ * Enumerate the valid configurations: 12 for statically-traversed apps
+ * ({T,S} x {G,D} x {0,1,R}) or 6 for dynamic ones ({D} x {G,D} x {0,1,R}).
+ */
+std::vector<SystemConfig> allConfigs(bool dynamic_traversal);
+
+/**
+ * The subset plotted in the paper's Fig. 5: {TG0, SG1, SGR, SD1, SDR} for
+ * static apps (pull is consistency/coherence-insensitive and DRF0 push is
+ * uniformly poor), {DG1, DGR, DD1, DDR} for dynamic ones.
+ */
+std::vector<SystemConfig> figureConfigs(bool dynamic_traversal);
+
+} // namespace gga
+
+#endif // GGA_MODEL_CONFIG_HPP

@@ -1,0 +1,94 @@
+#include "model/decision_tree.hpp"
+
+namespace gga {
+
+namespace {
+
+void
+note(std::vector<std::string>* trace, std::string line)
+{
+    if (trace)
+        trace->push_back(std::move(line));
+}
+
+bool
+reuseMedOrLow(const TaxonomyProfile& p)
+{
+    return p.reuseLevel != Level::High;
+}
+
+bool
+imbalanceHighOrMed(const TaxonomyProfile& p)
+{
+    return p.imbalanceLevel != Level::Low;
+}
+
+} // namespace
+
+SystemConfig
+predictFullDesignSpace(const TaxonomyProfile& profile,
+                       const AlgoProperties& props,
+                       std::vector<std::string>* trace)
+{
+    // AT: dynamic traversal fixes push+pull; DeNovo exploits the shrinking
+    // racy working set; DRF1 because racy values feed control flow, so
+    // relaxation buys little and costs programmability (Sec. IV-A4).
+    if (props.traversal == TraversalKind::Dynamic) {
+        note(trace, "AT dynamic -> push+pull, DeNovo, DRF1");
+        return {UpdateProp::PushPull, CoherenceKind::DeNovo,
+                ConsistencyKind::Drf1};
+    }
+
+    // Push vs. pull (Sec. IV-A1). Eliding work (AC) or hoisting loads (AI)
+    // at the source is sufficient for push.
+    bool push = false;
+    if (props.control == Preference::Source) {
+        note(trace, "AC source -> push");
+        push = true;
+    } else if (props.information == Preference::Source) {
+        note(trace, "AI source -> push");
+        push = true;
+    } else if (reuseMedOrLow(profile)) {
+        note(trace, "reuse med/low -> push (limited benefit caching pulls)");
+        push = true;
+    } else if (imbalanceHighOrMed(profile)) {
+        note(trace, "imbalance high/med -> push (DRFrlx can overlap atomics)");
+        push = true;
+    } else if (profile.volume == Level::High) {
+        note(trace, "volume high -> push (pull reuse would thrash)");
+        push = true;
+    }
+
+    if (!push) {
+        // Pull pairs with the simplest memory system: no atomics means GPU
+        // coherence and DRF0 lose nothing.
+        note(trace, "no push trigger -> pull with GPU coherence, DRF0");
+        return {UpdateProp::Pull, CoherenceKind::Gpu, ConsistencyKind::Drf0};
+    }
+
+    // Coherence (Sec. IV-A2): DeNovo only pays off when atomics brought
+    // into the L1 will be reused and not thrashed out.
+    CoherenceKind coh;
+    if (reuseMedOrLow(profile) || profile.volume == Level::High) {
+        note(trace, "reuse med/low or volume high -> GPU coherence");
+        coh = CoherenceKind::Gpu;
+    } else {
+        note(trace, "high reuse, volume <= med -> DeNovo");
+        coh = CoherenceKind::DeNovo;
+    }
+
+    // Consistency (Sec. IV-A3): imbalance or cache-thrashing volume makes
+    // atomic MLP worth the relaxed-atomics reasoning burden.
+    ConsistencyKind con;
+    if (profile.imbalanceLevel == Level::High ||
+        profile.volume != Level::Low) {
+        note(trace, "imbalance high or volume high/med -> DRFrlx");
+        con = ConsistencyKind::DrfRlx;
+    } else {
+        note(trace, "balanced, low volume -> DRF1 (programmability)");
+        con = ConsistencyKind::Drf1;
+    }
+    return {UpdateProp::Push, coh, con};
+}
+
+} // namespace gga

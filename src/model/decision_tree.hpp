@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The full-design-space specialization model (paper Fig. 4 / Sec. IV-A):
+ * a decision tree from (TaxonomyProfile, AlgoProperties) to the predicted
+ * best SystemConfig.
+ */
+
+#ifndef GGA_MODEL_DECISION_TREE_HPP
+#define GGA_MODEL_DECISION_TREE_HPP
+
+#include <string>
+#include <vector>
+
+#include "model/algo_props.hpp"
+#include "model/config.hpp"
+#include "taxonomy/profile.hpp"
+
+namespace gga {
+
+/**
+ * Predict the best of the 12 configurations for a workload.
+ *
+ * @param trace if non-null, receives one line per decision taken (used by
+ *        the advisor example for explainability).
+ */
+SystemConfig predictFullDesignSpace(const TaxonomyProfile& profile,
+                                    const AlgoProperties& props,
+                                    std::vector<std::string>* trace = nullptr);
+
+} // namespace gga
+
+#endif // GGA_MODEL_DECISION_TREE_HPP

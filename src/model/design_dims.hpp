@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The three design-space dimensions as plain enums. Header-only so the
+ * simulator can consume them without linking the model library.
+ */
+
+#ifndef GGA_MODEL_DESIGN_DIMS_HPP
+#define GGA_MODEL_DESIGN_DIMS_HPP
+
+#include <cstdint>
+
+namespace gga {
+
+/** Update propagation dimension (Sec. II-A). */
+enum class UpdateProp : std::uint8_t
+{
+    Pull,     ///< 'T': target-major outer loop, no fine-grained atomics
+    Push,     ///< 'S': source-major outer loop, remote atomics
+    PushPull, ///< 'D': dynamic traversal with racy reads and updates
+};
+
+/** Coherence dimension (Sec. II-B). */
+enum class CoherenceKind : std::uint8_t
+{
+    Gpu,    ///< 'G': self-invalidate/flush at sync, atomics at L2
+    DeNovo, ///< 'D': ownership at L1, atomics at L1
+};
+
+/** Consistency dimension (Sec. II-C). */
+enum class ConsistencyKind : std::uint8_t
+{
+    Drf0,   ///< '0': every sync is a paired acquire/release
+    Drf1,   ///< '1': unpaired atomics overlap data, stay mutually ordered
+    DrfRlx, ///< 'R': relaxed atomics also overlap each other (MLP)
+};
+
+} // namespace gga
+
+#endif // GGA_MODEL_DESIGN_DIMS_HPP

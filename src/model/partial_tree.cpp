@@ -1,0 +1,78 @@
+#include "model/partial_tree.hpp"
+
+namespace gga {
+
+namespace {
+
+void
+note(std::vector<std::string>* trace, std::string line)
+{
+    if (trace)
+        trace->push_back(std::move(line));
+}
+
+} // namespace
+
+SystemConfig
+predictPartialDesignSpace(const TaxonomyProfile& profile,
+                          const AlgoProperties& props,
+                          const DesignSpaceRestriction& restriction,
+                          std::vector<std::string>* trace)
+{
+    if (restriction.allowDrfRlx) {
+        SystemConfig c = predictFullDesignSpace(profile, props, trace);
+        if (!restriction.allowDeNovo && c.coh == CoherenceKind::DeNovo) {
+            note(trace, "DeNovo unavailable -> GPU coherence");
+            c.coh = CoherenceKind::Gpu;
+        }
+        return c;
+    }
+
+    // --- No DRFrlx (Sec. IV-B). ---
+    if (props.traversal == TraversalKind::Dynamic) {
+        note(trace, "AT dynamic -> push+pull, DRF1");
+        const CoherenceKind coh = restriction.allowDeNovo
+                                      ? CoherenceKind::DeNovo
+                                      : CoherenceKind::Gpu;
+        return {UpdateProp::PushPull, coh, ConsistencyKind::Drf1};
+    }
+
+    const bool reuse_med_low = profile.reuseLevel != Level::High;
+    const bool imb_high_med = profile.imbalanceLevel != Level::Low;
+
+    bool push = false;
+    if (props.control == Preference::Source) {
+        // First-order: control elision dominates.
+        note(trace, "AC source -> push (even without DRFrlx)");
+        push = true;
+    } else if (props.information == Preference::Source) {
+        // Second-order: hoisted loads help less than elided work, so push
+        // needs structural support; medium volume suffices on this path.
+        push = reuse_med_low || imb_high_med || profile.volume != Level::Low;
+        note(trace, push ? "AI source + secondary criteria -> push"
+                         : "AI source but graph favors caching -> pull");
+    } else {
+        // Neither side prefers source: strictest criteria — medium volume
+        // is no longer sufficient, it must be high.
+        push = reuse_med_low || imb_high_med || profile.volume == Level::High;
+        note(trace, push ? "no source preference, strict criteria -> push"
+                         : "no source preference -> pull");
+    }
+
+    if (!push)
+        return {UpdateProp::Pull, CoherenceKind::Gpu, ConsistencyKind::Drf0};
+
+    CoherenceKind coh;
+    if (!restriction.allowDeNovo || reuse_med_low ||
+        profile.volume == Level::High) {
+        coh = CoherenceKind::Gpu;
+    } else {
+        coh = CoherenceKind::DeNovo;
+    }
+    note(trace, coh == CoherenceKind::Gpu ? "coherence: GPU"
+                                          : "coherence: DeNovo");
+    // Consistency: DRFrlx is off the table; DRF0 never wins for push.
+    return {UpdateProp::Push, coh, ConsistencyKind::Drf1};
+}
+
+} // namespace gga

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Partial-design-space specialization (paper Sec. IV-B): the model variant
+ * for hardware that lacks some of the design space — most importantly
+ * DRFrlx, which flips several push recommendations back to pull.
+ */
+
+#ifndef GGA_MODEL_PARTIAL_TREE_HPP
+#define GGA_MODEL_PARTIAL_TREE_HPP
+
+#include <string>
+#include <vector>
+
+#include "model/decision_tree.hpp"
+
+namespace gga {
+
+/** Which parts of the design space the target hardware supports. */
+struct DesignSpaceRestriction
+{
+    bool allowDrfRlx = true;
+    bool allowDeNovo = true;
+};
+
+/**
+ * Predict the best configuration under @p restriction.
+ *
+ * With the full space allowed this defers to predictFullDesignSpace. The
+ * paper's Sec. IV-B covers the no-DRFrlx case: push is only chosen when
+ * control elides at the source, or (second order) information hoists at
+ * the source and the full model's secondary push criteria hold with
+ * medium volume now sufficient, or — when neither prefers source — under
+ * stricter criteria where only *high* volume qualifies. Pull keeps GPU
+ * coherence + DRF0; push takes DRF1 and the usual coherence rule.
+ * Without DeNovo, coherence falls back to GPU.
+ */
+SystemConfig
+predictPartialDesignSpace(const TaxonomyProfile& profile,
+                          const AlgoProperties& props,
+                          const DesignSpaceRestriction& restriction,
+                          std::vector<std::string>* trace = nullptr);
+
+} // namespace gga
+
+#endif // GGA_MODEL_PARTIAL_TREE_HPP

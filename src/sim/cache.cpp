@@ -1,0 +1,122 @@
+#include "sim/cache.hpp"
+
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace gga {
+
+SetAssocCache::SetAssocCache(std::uint32_t size_bytes, std::uint32_t assoc,
+                             std::uint32_t line_bytes)
+    : numSets_(size_bytes / line_bytes / assoc),
+      assoc_(assoc),
+      lineBytes_(line_bytes),
+      ways_(static_cast<std::size_t>(numSets_) * assoc)
+{
+    GGA_ASSERT(numSets_ > 0, "cache too small for its associativity");
+}
+
+std::uint32_t
+SetAssocCache::setOf(Addr line) const
+{
+    // Hash the line index so strided graph arrays spread across sets.
+    const std::uint64_t idx = line / lineBytes_;
+    return static_cast<std::uint32_t>(hashMix64(idx) % numSets_);
+}
+
+LineState
+SetAssocCache::lookup(Addr line)
+{
+    const std::size_t base = static_cast<std::size_t>(setOf(line)) * assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way& way = ways_[base + w];
+        if (way.state != LineState::Invalid && way.line == line) {
+            way.lastUse = ++useClock_;
+            return way.state;
+        }
+    }
+    return LineState::Invalid;
+}
+
+LineState*
+SetAssocCache::find(Addr line)
+{
+    const std::size_t base = static_cast<std::size_t>(setOf(line)) * assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way& way = ways_[base + w];
+        if (way.state != LineState::Invalid && way.line == line)
+            return &way.state;
+    }
+    return nullptr;
+}
+
+SetAssocCache::Eviction
+SetAssocCache::insert(Addr line, LineState st)
+{
+    GGA_ASSERT(st != LineState::Invalid, "cannot insert an invalid line");
+    const std::size_t base = static_cast<std::size_t>(setOf(line)) * assoc_;
+    Way* victim = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way& way = ways_[base + w];
+        GGA_ASSERT(way.state == LineState::Invalid || way.line != line,
+                   "inserting a line that is already present");
+        if (way.state == LineState::Invalid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    Eviction ev;
+    if (victim->state != LineState::Invalid) {
+        ev.line = victim->line;
+        ev.state = victim->state;
+    }
+    victim->line = line;
+    victim->state = st;
+    victim->lastUse = ++useClock_;
+    return ev;
+}
+
+void
+SetAssocCache::invalidate(Addr line)
+{
+    if (LineState* st = find(line))
+        *st = LineState::Invalid;
+}
+
+std::vector<Addr>
+SetAssocCache::collectLines(LineState st) const
+{
+    std::vector<Addr> out;
+    for (const Way& w : ways_) {
+        if (w.state == st)
+            out.push_back(w.line);
+    }
+    return out;
+}
+
+std::uint64_t
+SetAssocCache::invalidateForAcquire(bool keep_owned)
+{
+    std::uint64_t count = 0;
+    for (Way& w : ways_) {
+        if (w.state == LineState::Invalid)
+            continue;
+        if (keep_owned && w.state == LineState::Owned)
+            continue;
+        w.state = LineState::Invalid;
+        ++count;
+    }
+    return count;
+}
+
+void
+SetAssocCache::cleanDirty()
+{
+    for (Way& w : ways_) {
+        if (w.state == LineState::Dirty)
+            w.state = LineState::Valid;
+    }
+}
+
+} // namespace gga

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Generic set-associative, LRU tag array. Shared by the per-SM L1s and the
+ * L2 banks; coherence semantics live in the controllers, this class only
+ * tracks line presence and state.
+ */
+
+#ifndef GGA_SIM_CACHE_HPP
+#define GGA_SIM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace gga {
+
+/** State of a cached line. Meaning depends on the owning controller. */
+enum class LineState : std::uint8_t
+{
+    Invalid = 0,
+    Valid,  ///< clean copy (GPU L1 / DeNovo non-owned / L2 clean)
+    Dirty,  ///< modified, unflushed (GPU L1 write-combining / L2 vs DRAM)
+    Owned,  ///< DeNovo L1 registered ownership (implies writable)
+};
+
+/** Set-associative LRU tag array. All addresses must be line-aligned. */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(std::uint32_t size_bytes, std::uint32_t assoc,
+                  std::uint32_t line_bytes);
+
+    /** State of @p line; bumps LRU on hit. Invalid if absent. */
+    LineState lookup(Addr line);
+
+    /** Mutable state pointer without an LRU bump; nullptr if absent. */
+    LineState* find(Addr line);
+
+    /** A displaced line from insert(). */
+    struct Eviction
+    {
+        Addr line = 0;
+        LineState state = LineState::Invalid;
+    };
+
+    /**
+     * Insert @p line in state @p st (must not be present). Returns the
+     * evicted valid line, if any.
+     */
+    Eviction insert(Addr line, LineState st);
+
+    /** Drop @p line if present. */
+    void invalidate(Addr line);
+
+    /** Collect all lines currently in state @p st. */
+    std::vector<Addr> collectLines(LineState st) const;
+
+    /**
+     * Invalidate every line for which @p keep_owned is false or the state
+     * is not Owned. Returns the number of lines invalidated. Used for
+     * flash self-invalidation (GPU: everything; DeNovo: non-owned only).
+     */
+    std::uint64_t invalidateForAcquire(bool keep_owned);
+
+    /** Downgrade all Dirty lines to Valid (after a release flush). */
+    void cleanDirty();
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setOf(Addr line) const;
+
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> ways_; // numSets_ x assoc_, row-major
+};
+
+} // namespace gga
+
+#endif // GGA_SIM_CACHE_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Consistency-model execution rules (paper Sec. II-C), applied per warp:
+ *
+ * DRF0  — every atomic is a paired release+atomic+acquire; the warp waits
+ *         for the whole sequence (flush dirty, L2/L1 atomic, invalidate).
+ * DRF1  — atomics are unpaired: no flush/invalidate, data accesses overlap
+ *         them, but a warp's next atomic instruction waits for its
+ *         previous one (program order among atomics).
+ * DRFrlx — relaxed atomics also overlap each other up to a bounded window;
+ *         atomics whose return value feeds the program still block.
+ */
+
+#ifndef GGA_SIM_CONSISTENCY_HPP
+#define GGA_SIM_CONSISTENCY_HPP
+
+#include <cstdint>
+
+#include "model/design_dims.hpp"
+#include "sim/params.hpp"
+
+namespace gga {
+
+/** Operational rules derived from a ConsistencyKind. */
+struct ConsistencySpec
+{
+    ConsistencyKind kind = ConsistencyKind::Drf0;
+    /** DRF0: release/acquire envelope around every atomic. */
+    bool paired = true;
+    /** Max outstanding atomic instructions per warp (1 = ordered). */
+    std::uint32_t window = 1;
+};
+
+/** Build the execution rules for @p kind under @p params. */
+inline ConsistencySpec
+makeConsistencySpec(ConsistencyKind kind, const SimParams& params)
+{
+    switch (kind) {
+      case ConsistencyKind::Drf0:
+        return {kind, true, 1};
+      case ConsistencyKind::Drf1:
+        return {kind, false, 1};
+      case ConsistencyKind::DrfRlx:
+        return {kind, false, params.relaxedAtomicWindow};
+    }
+    return {};
+}
+
+} // namespace gga
+
+#endif // GGA_SIM_CONSISTENCY_HPP

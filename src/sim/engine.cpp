@@ -1,0 +1,75 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+void
+Engine::schedule(Cycles delay, EventFn fn)
+{
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Engine::scheduleAt(Cycles when, EventFn fn)
+{
+    GGA_ASSERT(when >= now_, "cannot schedule into the past: ", when,
+               " < ", now_);
+    heap_.push_back(Event{when, seq_++, std::move(fn)});
+    siftUp(heap_.size() - 1);
+}
+
+void
+Engine::run()
+{
+    while (!heap_.empty()) {
+        // Move the top event out, restore the heap, then execute. The
+        // callback may schedule new events.
+        Event ev = std::move(heap_.front());
+        if (heap_.size() > 1) {
+            heap_.front() = std::move(heap_.back());
+            heap_.pop_back();
+            siftDown(0);
+        } else {
+            heap_.pop_back();
+        }
+        now_ = ev.time;
+        ++processed_;
+        ev.fn();
+    }
+}
+
+void
+Engine::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!later(heap_[parent], heap_[i]))
+            break;
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+    }
+}
+
+void
+Engine::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    while (true) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = 2 * i + 2;
+        std::size_t best = i;
+        if (l < n && later(heap_[best], heap_[l]))
+            best = l;
+        if (r < n && later(heap_[best], heap_[r]))
+            best = r;
+        if (best == i)
+            break;
+        std::swap(heap_[best], heap_[i]);
+        i = best;
+    }
+}
+
+} // namespace gga

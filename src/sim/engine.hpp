@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Discrete-event simulation engine: a deterministic time-ordered event
+ * queue. Ties break by insertion sequence, so identical runs replay
+ * identically.
+ */
+
+#ifndef GGA_SIM_ENGINE_HPP
+#define GGA_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/inline_function.hpp"
+#include "support/types.hpp"
+
+namespace gga {
+
+/** Callback type for events; must stay within the inline capacity. */
+using EventFn = InlineFunction<void(), 48>;
+
+/**
+ * Min-heap event queue. All simulator components schedule through one
+ * Engine instance, giving a single global time line.
+ */
+class Engine
+{
+  public:
+    /** Current simulated time (GPU cycles). */
+    Cycles now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay cycles from now (0 allowed). */
+    void schedule(Cycles delay, EventFn fn);
+
+    /** Schedule @p fn at absolute time @p when (must be >= now). */
+    void scheduleAt(Cycles when, EventFn fn);
+
+    /** Run until the queue drains. */
+    void run();
+
+    /** Number of events executed so far (for perf diagnostics). */
+    std::uint64_t processedEvents() const { return processed_; }
+
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Event
+    {
+        Cycles time;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    /** Heap order: earliest time first, then earliest sequence. */
+    static bool
+    later(const Event& a, const Event& b)
+    {
+        return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Event> heap_;
+    Cycles now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SIM_ENGINE_HPP

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Aggregated memory-system counters for a run (all L1s + L2 + DRAM).
+ */
+
+#ifndef GGA_SIM_MEM_STATS_HPP
+#define GGA_SIM_MEM_STATS_HPP
+
+#include <cstdint>
+
+namespace gga {
+
+/** Whole-run memory-system statistics. */
+struct MemStats
+{
+    std::uint64_t l1LoadHits = 0;
+    std::uint64_t l1LoadMisses = 0;
+    std::uint64_t l1Stores = 0;
+    std::uint64_t l1AtomicHits = 0;      ///< DeNovo atomics on owned lines
+    std::uint64_t ownershipRequests = 0; ///< DeNovo GetO issued by L1s
+    std::uint64_t ownershipForwards = 0; ///< remote-L1 transfers (ping-pong)
+    std::uint64_t l2Atomics = 0;         ///< GPU-coherence atomics at L2
+    std::uint64_t l2Reads = 0;
+    std::uint64_t l2ReadMisses = 0;
+    std::uint64_t l2Writes = 0;
+    std::uint64_t flushedLines = 0;      ///< GPU dirty lines written at releases
+    std::uint64_t acquireInvalidatedLines = 0;
+    std::uint64_t recalls = 0;           ///< L1 lines invalidated by recall
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t l1Retries = 0; ///< MSHR/SB-full retry events
+    std::uint64_t l2ReadLagSum = 0;
+    std::uint64_t l2AtomicLagSum = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SIM_MEM_STATS_HPP

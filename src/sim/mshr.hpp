@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Miss Status Holding Registers: outstanding line fills with waiter
+ * merging. A full table back-pressures the core (Data stalls).
+ */
+
+#ifndef GGA_SIM_MSHR_HPP
+#define GGA_SIM_MSHR_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/types.hpp"
+
+namespace gga {
+
+/** What an in-flight fill will deliver. */
+enum class FillKind : std::uint8_t
+{
+    Data,      ///< GetV: a readable copy
+    Ownership, ///< GetO: a registered, writable copy (DeNovo)
+};
+
+/** Result of trying to attach a waiter to a line fill. */
+enum class MshrAdd : std::uint8_t
+{
+    NewEntry, ///< allocated; the caller must start the actual fill
+    Merged,   ///< attached to a compatible in-flight fill
+    Conflict, ///< in-flight fill is weaker than required; retry later
+};
+
+/** Outstanding-miss table keyed by line address. */
+class MshrTable
+{
+  public:
+    explicit MshrTable(std::uint32_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+
+    bool isPending(Addr line) const { return entries_.count(line) != 0; }
+
+    std::size_t inFlight() const { return entries_.size(); }
+
+    /**
+     * Register @p waiter for the fill of @p line requiring @p kind.
+     *
+     * A Data request merges with any in-flight fill; an Ownership request
+     * merges only with an Ownership fill (a Data fill in flight yields
+     * Conflict — the caller retries once it lands).
+     */
+    MshrAdd
+    addWaiter(Addr line, FillKind kind, EventFn waiter)
+    {
+        auto it = entries_.find(line);
+        if (it == entries_.end()) {
+            Entry& e = entries_[line];
+            e.kind = kind;
+            e.waiters.push_back(std::move(waiter));
+            return MshrAdd::NewEntry;
+        }
+        if (kind == FillKind::Ownership && it->second.kind == FillKind::Data)
+            return MshrAdd::Conflict;
+        it->second.waiters.push_back(std::move(waiter));
+        return MshrAdd::Merged;
+    }
+
+    /**
+     * Attach @p fn to the in-flight fill of @p line regardless of its
+     * kind: used to re-try ownership upgrades once a weaker data fill
+     * lands. The line must be pending.
+     */
+    void
+    addRetryOnFill(Addr line, EventFn fn)
+    {
+        auto it = entries_.find(line);
+        if (it != entries_.end())
+            it->second.waiters.push_back(std::move(fn));
+        else
+            fn(); // fill already landed; retry immediately
+    }
+
+    /**
+     * Complete the fill of @p line; returns the waiters to invoke.
+     * The entry is removed before waiters run.
+     */
+    std::vector<EventFn>
+    complete(Addr line)
+    {
+        auto it = entries_.find(line);
+        if (it == entries_.end())
+            return {};
+        std::vector<EventFn> waiters = std::move(it->second.waiters);
+        entries_.erase(it);
+        return waiters;
+    }
+
+  private:
+    struct Entry
+    {
+        FillKind kind = FillKind::Data;
+        std::vector<EventFn> waiters;
+    };
+
+    std::unordered_map<Addr, Entry> entries_;
+    std::uint32_t capacity_;
+};
+
+} // namespace gga
+
+#endif // GGA_SIM_MSHR_HPP

@@ -1,0 +1,114 @@
+#include "sim/stall.hpp"
+
+#include <cstdio>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+std::string
+describeBreakdown(const StallBreakdown& b)
+{
+    const double t = b.total();
+    if (t <= 0.0)
+        return "(empty)";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "busy=%.1f%% comp=%.1f%% data=%.1f%% sync=%.1f%% "
+                  "idle=%.1f%%",
+                  100.0 * b.busy / t, 100.0 * b.comp / t, 100.0 * b.data / t,
+                  100.0 * b.sync / t, 100.0 * b.idle / t);
+    return buf;
+}
+
+void
+SmAccounting::account(Cycles up_to)
+{
+    if (up_to <= lastEnd_)
+        return;
+    const double gap = static_cast<double>(up_to - lastEnd_);
+    lastEnd_ = up_to;
+    if (unfinished_ == 0) {
+        bd_.idle += gap;
+        return;
+    }
+    const std::uint32_t total = blocked_[0] + blocked_[1] + blocked_[2];
+    if (total == 0) {
+        // Resident warps exist but none is blocked and none issued: this
+        // only happens in dispatch/teardown slivers; treat as idle.
+        bd_.idle += gap;
+        return;
+    }
+    const double unit = gap / static_cast<double>(total);
+    bd_.comp += unit * blocked_[static_cast<int>(WaitCat::Comp)];
+    bd_.data += unit * blocked_[static_cast<int>(WaitCat::Data)];
+    bd_.sync += unit * blocked_[static_cast<int>(WaitCat::Sync)];
+}
+
+void
+SmAccounting::onIssue(Cycles t)
+{
+    account(t);
+    bd_.busy += 1.0;
+    lastEnd_ = t + 1;
+}
+
+void
+SmAccounting::blockWarp(WaitCat cat, Cycles t)
+{
+    account(t);
+    blocked_[static_cast<int>(cat)]++;
+}
+
+void
+SmAccounting::unblockWarp(WaitCat cat, Cycles t)
+{
+    account(t);
+    GGA_ASSERT(blocked_[static_cast<int>(cat)] > 0,
+               "unblock without matching block");
+    blocked_[static_cast<int>(cat)]--;
+}
+
+void
+SmAccounting::warpArrived(Cycles t)
+{
+    account(t);
+    ++unfinished_;
+}
+
+void
+SmAccounting::warpFinished(Cycles t)
+{
+    account(t);
+    GGA_ASSERT(unfinished_ > 0, "warp finished on empty SM");
+    --unfinished_;
+}
+
+void
+SmAccounting::catchUp(Cycles t)
+{
+    account(t);
+}
+
+void
+SmAccounting::accountExplicit(WaitCat cat, Cycles from, Cycles to)
+{
+    account(from);
+    if (to <= lastEnd_)
+        return;
+    const double gap = static_cast<double>(to - lastEnd_);
+    lastEnd_ = to;
+    switch (cat) {
+      case WaitCat::Comp:
+        bd_.comp += gap;
+        break;
+      case WaitCat::Data:
+        bd_.data += gap;
+        break;
+      case WaitCat::Sync:
+        bd_.sync += gap;
+        break;
+    }
+}
+
+} // namespace gga

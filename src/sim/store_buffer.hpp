@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Store buffer capacity model: a counting semaphore over the 128 entries
+ * of Table IV. Stores and in-flight (relaxed) atomics occupy entries; a
+ * full buffer back-pressures the issuing warp.
+ */
+
+#ifndef GGA_SIM_STORE_BUFFER_HPP
+#define GGA_SIM_STORE_BUFFER_HPP
+
+#include <cstdint>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+/** Occupancy counter for the per-SM store buffer. */
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(std::uint32_t entries) : capacity_(entries) {}
+
+    bool full() const { return inUse_ >= capacity_; }
+    bool empty() const { return inUse_ == 0; }
+    std::uint32_t inUse() const { return inUse_; }
+    std::uint32_t freeEntries() const { return capacity_ - inUse_; }
+
+    void
+    acquire()
+    {
+        GGA_ASSERT(!full(), "store buffer overflow");
+        ++inUse_;
+    }
+
+    void
+    release()
+    {
+        GGA_ASSERT(inUse_ > 0, "store buffer underflow");
+        --inUse_;
+    }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t inUse_ = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SIM_STORE_BUFFER_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-capacity inline vector for hot-path address lists (no allocation).
+ */
+
+#ifndef GGA_SUPPORT_INLINE_VEC_HPP
+#define GGA_SUPPORT_INLINE_VEC_HPP
+
+#include <cstdint>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+/** Tiny fixed-capacity vector; panics on overflow. */
+template <typename T, std::uint32_t N>
+class InlineVec
+{
+  public:
+    void
+    push_back(const T& v)
+    {
+        GGA_ASSERT(n_ < N, "InlineVec overflow (capacity ", N, ")");
+        data_[n_++] = v;
+    }
+
+    /** Append only if not already present (linear scan; N is small). */
+    void
+    pushUnique(const T& v)
+    {
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            if (data_[i] == v)
+                return;
+        }
+        push_back(v);
+    }
+
+    bool
+    contains(const T& v) const
+    {
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            if (data_[i] == v)
+                return true;
+        }
+        return false;
+    }
+
+    T& operator[](std::uint32_t i) { return data_[i]; }
+    const T& operator[](std::uint32_t i) const { return data_[i]; }
+
+    std::uint32_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    void clear() { n_ = 0; }
+
+    const T* data() const { return data_; }
+    const T* begin() const { return data_; }
+    const T* end() const { return data_ + n_; }
+
+  private:
+    T data_[N];
+    std::uint32_t n_ = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_INLINE_VEC_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic/fatal/warn/inform.
+ *
+ * panic()  — internal invariant violated (a GGA-Sim bug); aborts.
+ * fatal()  — user error (bad configuration/arguments); exits with code 1.
+ * warn()   — suspicious but survivable condition.
+ * inform() — plain status output.
+ */
+
+#ifndef GGA_SUPPORT_LOG_HPP
+#define GGA_SUPPORT_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace gga {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+/** Stream-concatenate any set of printable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Toggle for inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace gga
+
+#define GGA_PANIC(...) \
+    ::gga::detail::panicImpl(__FILE__, __LINE__, ::gga::detail::concat(__VA_ARGS__))
+
+#define GGA_FATAL(...) \
+    ::gga::detail::fatalImpl(__FILE__, __LINE__, ::gga::detail::concat(__VA_ARGS__))
+
+#define GGA_WARN(...) \
+    ::gga::detail::warnImpl(::gga::detail::concat(__VA_ARGS__))
+
+#define GGA_INFORM(...) \
+    ::gga::detail::informImpl(::gga::detail::concat(__VA_ARGS__))
+
+/** Assert that must hold regardless of user input; compiled in all builds. */
+#define GGA_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            GGA_PANIC("assertion failed: " #cond " ", __VA_ARGS__);        \
+        }                                                                  \
+    } while (0)
+
+#endif // GGA_SUPPORT_LOG_HPP

@@ -1,0 +1,72 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+Summary
+summarize(std::span<const double> values)
+{
+    Summary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    double sum = 0.0;
+    s.min = values.front();
+    s.max = values.front();
+    for (double v : values) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) {
+        const double d = v - s.mean;
+        var += d * d;
+    }
+    s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+    return s;
+}
+
+double
+geomean(std::span<const double> values)
+{
+    if (values.empty())
+        return 1.0;
+    double acc = 0.0;
+    for (double v : values) {
+        GGA_ASSERT(v > 0.0, "geomean requires positive values, got ", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double
+mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+percentile(std::span<const double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    std::vector<double> copy(values.begin(), values.end());
+    std::sort(copy.begin(), copy.end());
+    const double clamped = std::clamp(pct, 0.0, 100.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(copy.size())));
+    return copy[rank == 0 ? 0 : rank - 1];
+}
+
+} // namespace gga

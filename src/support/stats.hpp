@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by the taxonomy metrics and the
+ * benchmark harness.
+ */
+
+#ifndef GGA_SUPPORT_STATS_HPP
+#define GGA_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gga {
+
+/** Summary of a sample: count, extrema, mean, population standard deviation. */
+struct Summary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** Compute a Summary over a span of doubles (empty span yields zeros). */
+Summary summarize(std::span<const double> values);
+
+/** Geometric mean; all values must be positive, empty span yields 1.0. */
+double geomean(std::span<const double> values);
+
+/** Arithmetic mean; empty span yields 0. */
+double mean(std::span<const double> values);
+
+/** In-place-free percentile (0..100) by nearest-rank on a copy. */
+double percentile(std::span<const double> values, double pct);
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_STATS_HPP

@@ -1,0 +1,128 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gga {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::toText() const
+{
+    // Compute column widths over header plus all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_)
+        grow(r.cells);
+
+    std::ostringstream os;
+    auto emit = [&os, &widths](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& c = i < cells.size() ? cells[i] : std::string();
+            os << c;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - c.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    total = total >= 2 ? total - 2 : total;
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_) {
+        if (r.separator)
+            os << std::string(total, '-') << '\n';
+        else
+            emit(r.cells);
+    }
+    return os.str();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+TextTable::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            os << csvEscape(cells[i]);
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& r : rows_) {
+        if (!r.separator)
+            emit(r.cells);
+    }
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace gga

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared across GGA-Sim.
+ */
+
+#ifndef GGA_SUPPORT_TYPES_HPP
+#define GGA_SUPPORT_TYPES_HPP
+
+#include <cstdint>
+
+namespace gga {
+
+/** Vertex identifier. Graphs in this study stay below 2^32 vertices. */
+using VertexId = std::uint32_t;
+
+/** Edge identifier / CSR offset. Largest input has ~6.7M directed edges. */
+using EdgeId = std::uint32_t;
+
+/** Simulated time in GPU core cycles. */
+using Cycles = std::uint64_t;
+
+/** Byte address in the simulated unified address space. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no vertex". */
+inline constexpr VertexId kInvalidVertex = 0xffffffffu;
+
+/** Sentinel for "infinite distance" in traversal algorithms. */
+inline constexpr std::uint32_t kInfDist = 0xffffffffu;
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_TYPES_HPP

@@ -1,0 +1,53 @@
+#include "taxonomy/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gga {
+
+KMeans1dResult
+kmeans1d2(std::span<const double> values, int max_iters)
+{
+    KMeans1dResult r;
+    if (values.size() < 2)
+        return r;
+
+    double lo = values[0];
+    double hi = values[0];
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    if (lo == hi)
+        return r; // all identical: one cluster, zero gap
+
+    double c0 = lo;
+    double c1 = hi;
+    for (int it = 0; it < max_iters; ++it) {
+        double sum0 = 0.0, sum1 = 0.0;
+        std::size_t n0 = 0, n1 = 0;
+        for (double v : values) {
+            if (std::abs(v - c0) <= std::abs(v - c1)) {
+                sum0 += v;
+                ++n0;
+            } else {
+                sum1 += v;
+                ++n1;
+            }
+        }
+        // The extremal initialization guarantees both clusters non-empty on
+        // the first pass; keep centroids put if one empties later.
+        const double n0c = n0 ? sum0 / static_cast<double>(n0) : c0;
+        const double n1c = n1 ? sum1 / static_cast<double>(n1) : c1;
+        if (n0c == c0 && n1c == c1)
+            break;
+        c0 = n0c;
+        c1 = n1c;
+    }
+    r.lowCentroid = std::min(c0, c1);
+    r.highCentroid = std::max(c0, c1);
+    r.centroidGap = r.highCentroid - r.lowCentroid;
+    return r;
+}
+
+} // namespace gga

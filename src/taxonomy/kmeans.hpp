@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Deterministic 1-D 2-means clustering, used by the Imbalance metric
+ * (paper Sec. III-A3) to split a thread block's per-warp max degrees into
+ * "low" and "high" clusters.
+ */
+
+#ifndef GGA_TAXONOMY_KMEANS_HPP
+#define GGA_TAXONOMY_KMEANS_HPP
+
+#include <span>
+
+namespace gga {
+
+/** Result of 1-D 2-means clustering. */
+struct KMeans1dResult
+{
+    double lowCentroid = 0.0;
+    double highCentroid = 0.0;
+    /** highCentroid - lowCentroid; 0 when all values identical. */
+    double centroidGap = 0.0;
+};
+
+/**
+ * Cluster @p values into two groups.
+ *
+ * Centroids are initialized at the sample min and max (deterministic) and
+ * refined with standard Lloyd iterations until stable or @p max_iters.
+ * An empty or single-value sample yields a zero gap.
+ */
+KMeans1dResult kmeans1d2(std::span<const double> values, int max_iters = 32);
+
+} // namespace gga
+
+#endif // GGA_TAXONOMY_KMEANS_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The paper's graph-structure taxonomy metrics (Sec. III-A):
+ * Volume (Eq. 1), Reuse via ANL/ANR (Eqs. 2-6), Imbalance (Eq. 7).
+ */
+
+#ifndef GGA_TAXONOMY_METRICS_HPP
+#define GGA_TAXONOMY_METRICS_HPP
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace gga {
+
+/** GPU geometry inputs the taxonomy needs (defaults = paper Table IV). */
+struct GpuGeometry
+{
+    std::uint32_t numSms = 15;
+    std::uint32_t threadBlockSize = 256;
+    std::uint32_t warpSize = 32;
+    std::uint32_t l1KiB = 32;
+    std::uint32_t l2KiB = 4096;
+    /** Bytes per vertex/edge element for the Volume estimate. */
+    std::uint32_t bytesPerElement = 4;
+};
+
+/** Discretized metric level. */
+enum class Level
+{
+    Low,
+    Medium,
+    High,
+};
+
+/** 'L' / 'M' / 'H' for table output. */
+char levelChar(Level l);
+
+/** Classification thresholds (paper Sec. V-A, empirically chosen). */
+struct TaxonomyThresholds
+{
+    /** Volume is Low below this multiple of the L1 capacity... */
+    double volumeLowL1Multiple = 1.5;
+    /** ...and High above l2KiB / numSms (each SM's fair share of L2). */
+
+    double reuseLow = 0.15;
+    double reuseHigh = 0.40;
+
+    double imbalanceLow = 0.05;
+    double imbalanceHigh = 0.25;
+
+    /** k-means max-degree centroid gap marking a thread block imbalanced. */
+    double kmeansCentroidGap = 10.0;
+};
+
+/**
+ * Eq. 1: Volume(G) = (|V| + |E|) / |SM|, scaled to KB by bytesPerElement.
+ * A proxy for the average per-SM working-set size.
+ */
+double computeVolumeKb(const CsrGraph& g, const GpuGeometry& geom);
+
+/** ANL/ANR/Reuse bundle (Eqs. 4, 5, 6). */
+struct ReuseMetrics
+{
+    double anl = 0.0;   ///< average local (same thread block) neighbors
+    double anr = 0.0;   ///< average remote neighbors
+    double reuse = 0.0; ///< Eq. 6, in [0, 1]
+};
+
+/**
+ * Eqs. 2-6: average numbers of thread-block-local and -remote neighbors,
+ * combined into the [0, 1] Reuse score (1 = all edges local).
+ */
+ReuseMetrics computeReuse(const CsrGraph& g, const GpuGeometry& geom);
+
+/**
+ * Eq. 7: fraction of thread blocks whose per-warp max-degree 2-means
+ * clustering shows a centroid gap above the threshold.
+ */
+double computeImbalance(const CsrGraph& g, const GpuGeometry& geom,
+                        const TaxonomyThresholds& thresholds);
+
+/** Discretize Volume (see TaxonomyThresholds). */
+Level classifyVolume(double volume_kb, const GpuGeometry& geom,
+                     const TaxonomyThresholds& thresholds);
+
+/** Discretize Reuse. */
+Level classifyReuse(double reuse, const TaxonomyThresholds& thresholds);
+
+/** Discretize Imbalance. */
+Level classifyImbalance(double imbalance,
+                        const TaxonomyThresholds& thresholds);
+
+} // namespace gga
+
+#endif // GGA_TAXONOMY_METRICS_HPP

@@ -1,0 +1,24 @@
+#include "taxonomy/profile.hpp"
+
+namespace gga {
+
+TaxonomyProfile
+profileGraph(const CsrGraph& g, const GpuGeometry& geom,
+             const TaxonomyThresholds& thresholds)
+{
+    TaxonomyProfile p;
+    p.volumeKb = computeVolumeKb(g, geom);
+    p.volume = classifyVolume(p.volumeKb, geom, thresholds);
+
+    const ReuseMetrics rm = computeReuse(g, geom);
+    p.anl = rm.anl;
+    p.anr = rm.anr;
+    p.reuse = rm.reuse;
+    p.reuseLevel = classifyReuse(rm.reuse, thresholds);
+
+    p.imbalance = computeImbalance(g, geom, thresholds);
+    p.imbalanceLevel = classifyImbalance(p.imbalance, thresholds);
+    return p;
+}
+
+} // namespace gga

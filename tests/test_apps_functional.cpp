@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Functional validation: every application, on small graphs, across the
+ * full configuration space, must produce results matching the sequential
+ * CPU references (exactly for discrete outputs, within tolerance for
+ * floating-point ones).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "apps/runner.hpp"
+#include "graph/generator.hpp"
+#include "graph/presets.hpp"
+#include "model/config.hpp"
+#include "support/log.hpp"
+
+namespace gga {
+namespace {
+
+const CsrGraph&
+smallGraph()
+{
+    static const CsrGraph g = [] {
+        GenSpec spec;
+        spec.name = "small";
+        spec.numVertices = 800;
+        spec.numDirectedEdges = 4000;
+        spec.dist = DegreeDist::PowerLaw;
+        spec.p1 = 2.3;
+        spec.p2 = 1.5;
+        spec.maxDegree = 64;
+        spec.fracIntraBlock = 0.3;
+        spec.seed = 99;
+        return generateGraph(spec);
+    }();
+    return g;
+}
+
+SimParams
+testParams()
+{
+    SimParams p;
+    return p;
+}
+
+class AllConfigs : public ::testing::TestWithParam<std::string>
+{
+};
+
+class DynConfigs : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllConfigs, PrMatchesReference)
+{
+    const CsrGraph& g = smallGraph();
+    const SystemConfig cfg = parseConfig(GetParam());
+    std::vector<float> ranks;
+    AppOutputs out;
+    out.prRanks = &ranks;
+    runPr(g, cfg, testParams(), &out);
+    const std::vector<double> expect = ref::pagerank(g, kPrIterations);
+    ASSERT_EQ(ranks.size(), expect.size());
+    for (std::size_t v = 0; v < ranks.size(); ++v) {
+        EXPECT_NEAR(ranks[v], expect[v],
+                    std::max(1e-6, 1e-3 * expect[v]))
+            << "vertex " << v;
+    }
+}
+
+TEST_P(AllConfigs, SsspMatchesDijkstra)
+{
+    const CsrGraph& g = smallGraph();
+    const SystemConfig cfg = parseConfig(GetParam());
+    std::vector<std::uint32_t> dist;
+    AppOutputs out;
+    out.ssspDist = &dist;
+    runSssp(g, cfg, testParams(), &out);
+    const std::vector<std::uint32_t> expect = ref::dijkstra(g, 0);
+    ASSERT_EQ(dist, expect);
+}
+
+TEST_P(AllConfigs, MisIsValidAndConfigInvariant)
+{
+    const CsrGraph& g = smallGraph();
+    const SystemConfig cfg = parseConfig(GetParam());
+    std::vector<std::uint32_t> state;
+    AppOutputs out;
+    out.misState = &state;
+    runMis(g, cfg, testParams(), &out);
+    EXPECT_TRUE(ref::validMis(g, state));
+
+    // The round structure is deterministic, so every configuration must
+    // produce the identical set.
+    std::vector<std::uint32_t> baseline;
+    AppOutputs base_out;
+    base_out.misState = &baseline;
+    runMis(g, parseConfig("TG0"), testParams(), &base_out);
+    EXPECT_EQ(state, baseline);
+}
+
+TEST_P(AllConfigs, ClrIsProperColoring)
+{
+    const CsrGraph& g = smallGraph();
+    const SystemConfig cfg = parseConfig(GetParam());
+    std::vector<std::uint32_t> colors;
+    AppOutputs out;
+    out.colors = &colors;
+    runClr(g, cfg, testParams(), &out);
+    EXPECT_TRUE(ref::validColoring(g, colors));
+}
+
+TEST_P(AllConfigs, BcMatchesBrandes)
+{
+    const CsrGraph& g = smallGraph();
+    const SystemConfig cfg = parseConfig(GetParam());
+    std::vector<double> delta;
+    std::vector<std::uint32_t> level;
+    std::vector<double> sigma;
+    AppOutputs out;
+    out.bcDelta = &delta;
+    out.bcLevel = &level;
+    out.bcSigma = &sigma;
+    runBc(g, cfg, testParams(), &out);
+    const ref::BcRef expect = ref::brandes(g, 0);
+    ASSERT_EQ(level, expect.level);
+    for (std::size_t v = 0; v < delta.size(); ++v) {
+        EXPECT_NEAR(sigma[v], expect.sigma[v],
+                    1e-9 + 1e-9 * expect.sigma[v])
+            << "sigma of vertex " << v;
+        EXPECT_NEAR(delta[v], expect.delta[v],
+                    1e-9 + 1e-9 * std::abs(expect.delta[v]))
+            << "delta of vertex " << v;
+    }
+}
+
+TEST_P(DynConfigs, CcMatchesUnionFind)
+{
+    const CsrGraph& g = smallGraph();
+    const SystemConfig cfg = parseConfig(GetParam());
+    std::vector<std::uint32_t> labels;
+    AppOutputs out;
+    out.ccLabels = &labels;
+    runCc(g, cfg, testParams(), &out);
+    const std::vector<std::uint32_t> expect = ref::components(g);
+    EXPECT_TRUE(ref::samePartition(labels, expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, AllConfigs,
+                         ::testing::Values("TG0", "TG1", "TGR", "TD0", "TD1",
+                                           "TDR", "SG0", "SG1", "SGR", "SD0",
+                                           "SD1", "SDR"));
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, DynConfigs,
+                         ::testing::Values("DG0", "DG1", "DGR", "DD0", "DD1",
+                                           "DDR"));
+
+} // namespace
+} // namespace gga

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: time ordering, FIFO tie
+ * breaking, reentrancy, and monotonic time.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace gga {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(30, [&order] { order.push_back(3); });
+    e.schedule(10, [&order] { order.push_back(1); });
+    e.schedule(20, [&order] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        e.schedule(5, [&order, i] { order.push_back(i); });
+    e.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, CallbacksMayScheduleMore)
+{
+    Engine e;
+    int depth = 0;
+    EventFn chain = [&e, &depth]() {
+        if (++depth < 10) {
+            e.schedule(1, [&e, &depth] {
+                if (++depth < 10)
+                    e.schedule(1, [&depth] { ++depth; });
+            });
+        }
+    };
+    e.schedule(0, std::move(chain));
+    e.run();
+    EXPECT_GE(depth, 3);
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ZeroDelayRunsAtSameTime)
+{
+    Engine e;
+    Cycles seen = ~0ull;
+    e.schedule(7, [&e, &seen] {
+        e.schedule(0, [&e, &seen] { seen = e.now(); });
+    });
+    e.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(Engine, CountsProcessedEvents)
+{
+    Engine e;
+    for (int i = 0; i < 5; ++i)
+        e.schedule(i, [] {});
+    e.run();
+    EXPECT_EQ(e.processedEvents(), 5u);
+}
+
+} // namespace
+} // namespace gga

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the synthetic graph generator: exact counts,
+ * determinism, degree caps, grid topology, connectivity, scaling.
+ */
+
+#include <queue>
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+#include "graph/generator.hpp"
+#include "graph/presets.hpp"
+
+namespace gga {
+namespace {
+
+GenSpec
+basicSpec()
+{
+    GenSpec s;
+    s.name = "t";
+    s.numVertices = 2000;
+    s.numDirectedEdges = 12000;
+    s.dist = DegreeDist::LogNormal;
+    s.p1 = 1.5;
+    s.p2 = 0.7;
+    s.maxDegree = 64;
+    s.fracIntraBlock = 0.4;
+    s.seed = 5;
+    return s;
+}
+
+/** Count vertices reachable from 0. */
+VertexId
+reachable(const CsrGraph& g)
+{
+    std::vector<char> seen(g.numVertices(), 0);
+    std::queue<VertexId> q;
+    q.push(0);
+    seen[0] = 1;
+    VertexId count = 1;
+    while (!q.empty()) {
+        const VertexId v = q.front();
+        q.pop();
+        for (VertexId t : g.neighbors(v)) {
+            if (!seen[t]) {
+                seen[t] = 1;
+                ++count;
+                q.push(t);
+            }
+        }
+    }
+    return count;
+}
+
+TEST(Generator, ExactCountsAndCanonicalForm)
+{
+    const CsrGraph g = generateGraph(basicSpec());
+    EXPECT_EQ(g.numVertices(), 2000u);
+    EXPECT_EQ(g.numEdges(), 12000u);
+    EXPECT_TRUE(g.isSymmetric());
+    EXPECT_TRUE(g.hasNoSelfLoops());
+    EXPECT_TRUE(g.hasWeights());
+}
+
+TEST(Generator, Deterministic)
+{
+    const CsrGraph a = generateGraph(basicSpec());
+    const CsrGraph b = generateGraph(basicSpec());
+    EXPECT_EQ(a.rowOffsets(), b.rowOffsets());
+    EXPECT_EQ(a.colIndices(), b.colIndices());
+    GenSpec other = basicSpec();
+    other.seed = 6;
+    const CsrGraph c = generateGraph(other);
+    EXPECT_NE(a.colIndices(), c.colIndices());
+}
+
+TEST(Generator, BackboneConnects)
+{
+    const CsrGraph g = generateGraph(basicSpec());
+    EXPECT_EQ(reachable(g), g.numVertices());
+}
+
+TEST(Generator, LocalityKnobMovesAnl)
+{
+    GenSpec local = basicSpec();
+    local.fracIntraBlock = 0.8;
+    GenSpec remote = basicSpec();
+    remote.fracIntraBlock = 0.0;
+    const CsrGraph gl = generateGraph(local);
+    const CsrGraph gr = generateGraph(remote);
+
+    auto anl_fraction = [](const CsrGraph& g) {
+        std::uint64_t local_edges = 0;
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            for (VertexId t : g.neighbors(v))
+                local_edges += (v / 256 == t / 256);
+        }
+        return double(local_edges) / g.numEdges();
+    };
+    EXPECT_GT(anl_fraction(gl), anl_fraction(gr) + 0.3);
+}
+
+TEST(Generator, ForcedTopDegreesReachMax)
+{
+    GenSpec s = basicSpec();
+    s.maxDegree = 400;
+    s.forceTopDegrees = true;
+    const CsrGraph g = generateGraph(s);
+    const DegreeStats ds = computeDegreeStats(g);
+    EXPECT_GT(ds.maxDegree, 250u);
+    EXPECT_LE(ds.maxDegree, 400u);
+}
+
+TEST(Generator, Grid2dStructure)
+{
+    GenSpec s;
+    s.name = "grid";
+    s.topology = Topology::Grid2d;
+    s.gridRows = 20;
+    s.gridCols = 20;
+    s.numVertices = 405; // 5 pendants
+    s.numDirectedEdges = 2 * (2 * 20 * 19 + 5) - 6;
+    s.permuteLabels = false;
+    s.seed = 3;
+    const CsrGraph g = generateGraph(s);
+    EXPECT_EQ(g.numVertices(), 405u);
+    EXPECT_EQ(g.numEdges(), s.numDirectedEdges);
+    const DegreeStats ds = computeDegreeStats(g);
+    EXPECT_LE(ds.maxDegree, 4u);
+    EXPECT_EQ(reachable(g), g.numVertices());
+}
+
+TEST(Generator, ScaledPresetsKeepStructure)
+{
+    for (GraphPreset p : kAllGraphPresets) {
+        const CsrGraph g = buildPresetScaled(p, 0.05);
+        EXPECT_GT(g.numVertices(), 64u) << presetName(p);
+        EXPECT_TRUE(g.isSymmetric()) << presetName(p);
+        EXPECT_TRUE(g.hasNoSelfLoops()) << presetName(p);
+    }
+}
+
+TEST(Generator, RejectsOddEdgeTarget)
+{
+    GenSpec s = basicSpec();
+    s.numDirectedEdges = 12001;
+    EXPECT_DEATH(generateGraph(s), "even");
+}
+
+} // namespace
+} // namespace gga

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: builder canonicalization, CSR
+ * invariants, degree statistics, MatrixMarket IO.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/mtx_io.hpp"
+
+namespace gga {
+namespace {
+
+TEST(GraphBuilder, SymmetrizesAndDedupes)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(0, 1); // duplicate
+    b.addEdge(1, 0); // reverse of an existing pair
+    b.addEdge(2, 3);
+    const CsrGraph g = b.build();
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u); // pairs {0,1} and {2,3}, both directions
+    EXPECT_TRUE(g.isSymmetric());
+}
+
+TEST(GraphBuilder, RemovesSelfLoops)
+{
+    GraphBuilder b(3);
+    b.addEdge(0, 0);
+    b.addEdge(1, 2);
+    const CsrGraph g = b.build();
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(g.hasNoSelfLoops());
+}
+
+TEST(GraphBuilder, SortedAdjacency)
+{
+    GraphBuilder b(5);
+    b.addEdge(0, 4);
+    b.addEdge(0, 2);
+    b.addEdge(0, 3);
+    const CsrGraph g = b.build();
+    const auto nb = g.neighbors(0);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(GraphBuilder, WeightsSymmetricAndInRange)
+{
+    GraphBuilder b(6);
+    for (VertexId v = 1; v < 6; ++v)
+        b.addEdge(0, v);
+    const CsrGraph g = b.build(/*with_weights=*/true);
+    ASSERT_TRUE(g.hasWeights());
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        for (EdgeId e = g.edgeBegin(u); e < g.edgeEnd(u); ++e) {
+            const std::uint32_t w = g.edgeWeight(e);
+            EXPECT_GE(w, 1u);
+            EXPECT_LE(w, 31u);
+            EXPECT_EQ(w, pairWeight(u, g.edgeTarget(e)));
+            EXPECT_EQ(w, pairWeight(g.edgeTarget(e), u));
+        }
+    }
+}
+
+TEST(CsrGraph, DegreesAndAccessors)
+{
+    GraphBuilder b(4);
+    b.addUndirected(0, 1);
+    b.addUndirected(0, 2);
+    b.addUndirected(0, 3);
+    const CsrGraph g = b.build();
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_DOUBLE_EQ(g.avgDegree(), 6.0 / 4.0);
+    EXPECT_EQ(g.edgeEnd(0) - g.edgeBegin(0), 3u);
+}
+
+TEST(DegreeStats, StarGraph)
+{
+    GraphBuilder b(5);
+    for (VertexId v = 1; v < 5; ++v)
+        b.addEdge(0, v);
+    const CsrGraph g = b.build();
+    const DegreeStats s = computeDegreeStats(g);
+    EXPECT_EQ(s.maxDegree, 4u);
+    EXPECT_DOUBLE_EQ(s.avgDegree, 8.0 / 5.0);
+    EXPECT_GT(s.stddevDegree, 1.0);
+}
+
+TEST(MtxIo, ParsesGeneralPattern)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% comment line\n"
+        "3 3 2\n"
+        "1 2\n"
+        "3 1\n");
+    const CsrGraph g = readMatrixMarket(in);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u); // symmetrized
+    EXPECT_TRUE(g.isSymmetric());
+}
+
+TEST(MtxIo, ParsesSymmetricRealAndIgnoresValues)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "4 4 3\n"
+        "2 1 0.5\n"
+        "3 3 1.0\n" // self loop -> dropped
+        "4 2 2.5\n");
+    const CsrGraph g = readMatrixMarket(in);
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_TRUE(g.hasNoSelfLoops());
+}
+
+TEST(MtxIo, RoundTrips)
+{
+    GraphBuilder b(6);
+    b.addUndirected(0, 1);
+    b.addUndirected(2, 5);
+    b.addUndirected(3, 4);
+    const CsrGraph g = b.build();
+
+    std::ostringstream out;
+    writeMatrixMarket(out, g);
+    std::istringstream in(out.str());
+    const CsrGraph g2 = readMatrixMarket(in);
+    EXPECT_EQ(g2.numVertices(), g.numVertices());
+    EXPECT_EQ(g2.numEdges(), g.numEdges());
+    EXPECT_EQ(g2.rowOffsets(), g.rowOffsets());
+    EXPECT_EQ(g2.colIndices(), g.colIndices());
+}
+
+} // namespace
+} // namespace gga

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the model layer: configuration naming/parsing, algorithm
+ * properties (Table III), the full decision tree against the paper's
+ * Table V, and the partial-design-space variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/presets.hpp"
+#include "model/algo_props.hpp"
+#include "model/config.hpp"
+#include "model/decision_tree.hpp"
+#include "model/partial_tree.hpp"
+#include "taxonomy/profile.hpp"
+
+namespace gga {
+namespace {
+
+TEST(Config, NamesRoundTrip)
+{
+    for (bool dynamic : {false, true}) {
+        for (const SystemConfig& c : allConfigs(dynamic)) {
+            EXPECT_EQ(parseConfig(c.name()), c);
+            EXPECT_EQ(c.name().size(), 3u);
+        }
+    }
+}
+
+TEST(Config, EnumeratesTwelveAndSix)
+{
+    EXPECT_EQ(allConfigs(false).size(), 12u);
+    EXPECT_EQ(allConfigs(true).size(), 6u);
+    EXPECT_EQ(figureConfigs(false).size(), 5u);
+    EXPECT_EQ(figureConfigs(true).size(), 4u);
+}
+
+TEST(Config, KnownNames)
+{
+    const SystemConfig sgr = parseConfig("SGR");
+    EXPECT_EQ(sgr.prop, UpdateProp::Push);
+    EXPECT_EQ(sgr.coh, CoherenceKind::Gpu);
+    EXPECT_EQ(sgr.con, ConsistencyKind::DrfRlx);
+    const SystemConfig dd1 = parseConfig("DD1");
+    EXPECT_EQ(dd1.prop, UpdateProp::PushPull);
+    EXPECT_EQ(dd1.coh, CoherenceKind::DeNovo);
+    EXPECT_EQ(dd1.con, ConsistencyKind::Drf1);
+}
+
+TEST(AlgoProps, TableIII)
+{
+    EXPECT_EQ(algoProperties(AppId::Pr).information, Preference::Source);
+    EXPECT_EQ(algoProperties(AppId::Pr).control, Preference::Symmetric);
+    EXPECT_EQ(algoProperties(AppId::Sssp).control, Preference::Source);
+    EXPECT_EQ(algoProperties(AppId::Mis).information,
+              Preference::Symmetric);
+    EXPECT_EQ(algoProperties(AppId::Clr).information, Preference::Target);
+    EXPECT_EQ(algoProperties(AppId::Bc).control, Preference::Source);
+    EXPECT_EQ(algoProperties(AppId::Cc).traversal, TraversalKind::Dynamic);
+}
+
+/** Build a synthetic profile with the given classes. */
+TaxonomyProfile
+profileWith(Level volume, Level reuse, Level imbalance)
+{
+    TaxonomyProfile p;
+    p.volume = volume;
+    p.reuseLevel = reuse;
+    p.imbalanceLevel = imbalance;
+    return p;
+}
+
+TEST(DecisionTree, DynamicTraversalAlwaysDD1)
+{
+    const auto cfg = predictFullDesignSpace(
+        profileWith(Level::High, Level::Low, Level::High),
+        algoProperties(AppId::Cc));
+    EXPECT_EQ(cfg.name(), "DD1");
+}
+
+TEST(DecisionTree, PullForHighReuseBalancedSymmetricApps)
+{
+    // MIS on an OLS-like profile: high reuse, low imbalance, med volume.
+    const auto cfg = predictFullDesignSpace(
+        profileWith(Level::Medium, Level::High, Level::Low),
+        algoProperties(AppId::Mis));
+    EXPECT_EQ(cfg.name(), "TG0");
+}
+
+TEST(DecisionTree, SourceControlForcesPush)
+{
+    // SSSP elides at the source: push even on a pull-friendly profile.
+    const auto cfg = predictFullDesignSpace(
+        profileWith(Level::Medium, Level::High, Level::Low),
+        algoProperties(AppId::Sssp));
+    EXPECT_EQ(cfg.prop, UpdateProp::Push);
+    EXPECT_EQ(cfg.coh, CoherenceKind::DeNovo); // high reuse, med volume
+    EXPECT_EQ(cfg.con, ConsistencyKind::DrfRlx); // med volume
+}
+
+TEST(DecisionTree, CoherenceFollowsReuseAndVolume)
+{
+    // Low reuse -> GPU coherence even with low volume.
+    auto cfg = predictFullDesignSpace(
+        profileWith(Level::Low, Level::Low, Level::High),
+        algoProperties(AppId::Pr));
+    EXPECT_EQ(cfg.coh, CoherenceKind::Gpu);
+    // High reuse + high volume -> still GPU (thrashing).
+    cfg = predictFullDesignSpace(
+        profileWith(Level::High, Level::High, Level::Low),
+        algoProperties(AppId::Pr));
+    EXPECT_EQ(cfg.coh, CoherenceKind::Gpu);
+}
+
+TEST(DecisionTree, ConsistencyNeedsImbalanceOrVolume)
+{
+    // Low volume + low imbalance -> DRF1 (programmability).
+    const auto cfg = predictFullDesignSpace(
+        profileWith(Level::Low, Level::Low, Level::Low),
+        algoProperties(AppId::Pr));
+    EXPECT_EQ(cfg.con, ConsistencyKind::Drf1);
+}
+
+TEST(DecisionTree, TraceExplainsDecisions)
+{
+    std::vector<std::string> trace;
+    predictFullDesignSpace(profileWith(Level::Low, Level::High, Level::High),
+                           algoProperties(AppId::Mis), &trace);
+    EXPECT_GE(trace.size(), 3u);
+}
+
+TEST(DecisionTree, ReproducesPaperTableV)
+{
+    const char* const expected[6][6] = {
+        {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"},
+        {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"},
+        {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"},
+        {"SDR", "SDR", "TG0", "TG0", "SDR", "DD1"},
+        {"SDR", "SDR", "SDR", "SDR", "SDR", "DD1"},
+        {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"},
+    };
+    for (std::size_t gi = 0; gi < kAllGraphPresets.size(); ++gi) {
+        const TaxonomyProfile prof =
+            profileGraph(presetGraph(kAllGraphPresets[gi]));
+        for (std::size_t ai = 0; ai < kAllApps.size(); ++ai) {
+            const auto cfg =
+                predictFullDesignSpace(prof, algoProperties(kAllApps[ai]));
+            EXPECT_EQ(cfg.name(), expected[gi][ai])
+                << presetName(kAllGraphPresets[gi]) << " / "
+                << appName(kAllApps[ai]);
+        }
+    }
+}
+
+TEST(PartialTree, FullSpaceDelegates)
+{
+    DesignSpaceRestriction r; // everything allowed
+    const auto full = predictFullDesignSpace(
+        profileWith(Level::Low, Level::High, Level::High),
+        algoProperties(AppId::Mis));
+    const auto part = predictPartialDesignSpace(
+        profileWith(Level::Low, Level::High, Level::High),
+        algoProperties(AppId::Mis), r);
+    EXPECT_EQ(full, part);
+}
+
+TEST(PartialTree, NoRlxNeverPredictsRelaxed)
+{
+    DesignSpaceRestriction r;
+    r.allowDrfRlx = false;
+    for (AppId app : kAllApps) {
+        for (Level vol : {Level::Low, Level::Medium, Level::High}) {
+            for (Level reuse : {Level::Low, Level::Medium, Level::High}) {
+                for (Level imb :
+                     {Level::Low, Level::Medium, Level::High}) {
+                    const auto cfg = predictPartialDesignSpace(
+                        profileWith(vol, reuse, imb), algoProperties(app),
+                        r);
+                    EXPECT_NE(cfg.con, ConsistencyKind::DrfRlx);
+                }
+            }
+        }
+    }
+}
+
+TEST(PartialTree, NoDeNovoFallsBackToGpu)
+{
+    DesignSpaceRestriction r;
+    r.allowDeNovo = false;
+    const auto cfg = predictPartialDesignSpace(
+        profileWith(Level::Low, Level::High, Level::High),
+        algoProperties(AppId::Pr), r);
+    EXPECT_EQ(cfg.coh, CoherenceKind::Gpu);
+}
+
+TEST(PartialTree, SymmetricAppNeedsHighVolumeWithoutRlx)
+{
+    DesignSpaceRestriction r;
+    r.allowDrfRlx = false;
+    // MIS (symmetric/symmetric): medium volume alone no longer justifies
+    // push; the graph below has high reuse + low imbalance.
+    auto cfg = predictPartialDesignSpace(
+        profileWith(Level::Medium, Level::High, Level::Low),
+        algoProperties(AppId::Mis), r);
+    EXPECT_EQ(cfg.prop, UpdateProp::Pull);
+    cfg = predictPartialDesignSpace(
+        profileWith(Level::High, Level::High, Level::Low),
+        algoProperties(AppId::Mis), r);
+    EXPECT_EQ(cfg.prop, UpdateProp::Push);
+    EXPECT_EQ(cfg.con, ConsistencyKind::Drf1);
+}
+
+TEST(PartialTree, AiSourceAcceptsMediumVolumeWithoutRlx)
+{
+    DesignSpaceRestriction r;
+    r.allowDrfRlx = false;
+    // PR hoists at the source (AI source): medium volume suffices.
+    const auto cfg = predictPartialDesignSpace(
+        profileWith(Level::Medium, Level::High, Level::Low),
+        algoProperties(AppId::Pr), r);
+    EXPECT_EQ(cfg.prop, UpdateProp::Push);
+}
+
+} // namespace
+} // namespace gga

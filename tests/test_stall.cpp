@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the GSI-style stall classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stall.hpp"
+
+namespace gga {
+namespace {
+
+TEST(Stall, IdleWhenNoWarps)
+{
+    SmAccounting a;
+    a.catchUp(100);
+    EXPECT_DOUBLE_EQ(a.breakdown().idle, 100.0);
+    EXPECT_DOUBLE_EQ(a.breakdown().total(), 100.0);
+}
+
+TEST(Stall, BusyCyclesCounted)
+{
+    SmAccounting a;
+    a.warpArrived(0);
+    a.onIssue(0);
+    a.onIssue(1);
+    a.onIssue(2);
+    EXPECT_DOUBLE_EQ(a.breakdown().busy, 3.0);
+}
+
+TEST(Stall, SingleCategoryAttribution)
+{
+    SmAccounting a;
+    a.warpArrived(0);
+    a.blockWarp(WaitCat::Data, 0);
+    a.unblockWarp(WaitCat::Data, 50);
+    a.catchUp(50);
+    EXPECT_DOUBLE_EQ(a.breakdown().data, 50.0);
+    EXPECT_DOUBLE_EQ(a.breakdown().sync, 0.0);
+}
+
+TEST(Stall, ProportionalSplitAcrossCategories)
+{
+    SmAccounting a;
+    a.warpArrived(0);
+    a.warpArrived(0);
+    a.warpArrived(0);
+    a.blockWarp(WaitCat::Data, 0);
+    a.blockWarp(WaitCat::Data, 0);
+    a.blockWarp(WaitCat::Sync, 0);
+    a.catchUp(30);
+    EXPECT_DOUBLE_EQ(a.breakdown().data, 20.0);
+    EXPECT_DOUBLE_EQ(a.breakdown().sync, 10.0);
+}
+
+TEST(Stall, TotalsAreConserved)
+{
+    SmAccounting a;
+    a.warpArrived(0);
+    a.blockWarp(WaitCat::Comp, 0);
+    a.onIssue(10); // accounts [0,10) then busy at 10
+    a.unblockWarp(WaitCat::Comp, 11);
+    a.blockWarp(WaitCat::Sync, 11);
+    a.unblockWarp(WaitCat::Sync, 20);
+    a.warpFinished(20);
+    a.catchUp(25); // idle tail
+    const StallBreakdown& b = a.breakdown();
+    EXPECT_DOUBLE_EQ(b.total(), 25.0);
+    EXPECT_DOUBLE_EQ(b.busy, 1.0);
+    EXPECT_DOUBLE_EQ(b.comp, 10.0);
+    EXPECT_DOUBLE_EQ(b.sync, 9.0);
+    EXPECT_DOUBLE_EQ(b.idle, 5.0);
+}
+
+TEST(Stall, ExplicitAccounting)
+{
+    SmAccounting a;
+    a.accountExplicit(WaitCat::Sync, 0, 40);
+    EXPECT_DOUBLE_EQ(a.breakdown().sync, 40.0);
+}
+
+TEST(Stall, DescribeBreakdownFormats)
+{
+    StallBreakdown b;
+    b.busy = 50;
+    b.idle = 50;
+    const std::string s = describeBreakdown(b);
+    EXPECT_NE(s.find("busy=50.0%"), std::string::npos);
+    EXPECT_NE(s.find("idle=50.0%"), std::string::npos);
+}
+
+} // namespace
+} // namespace gga
