@@ -13,7 +13,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "apps/runner.hpp"
+#include "api/session.hpp"
 #include "harness/workloads.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -24,19 +24,27 @@ main(int argc, char** argv)
     const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
     gga::setVerbose(true);
 
+    gga::SessionOptions opts;
+    opts.scale = gga::evaluationScale();
+    opts.collectOutputs = false; // timing/memory counters only
+    gga::Session session(opts);
+
     gga::TextTable table;
     table.setHeader({"Workload", "Config", "L1KiB", "Cycles", "Norm",
                      "L1MissRate"});
 
     for (gga::GraphPreset g : {gga::GraphPreset::Ols, gga::GraphPreset::Raj}) {
-        const gga::CsrGraph& graph = gga::workloadGraph(g);
         for (const char* cfg_name : {"TG0", "SDR"}) {
-            const gga::SystemConfig cfg = gga::parseConfig(cfg_name);
             double base = 0.0;
             for (std::uint32_t l1 : {8u, 16u, 32u, 64u, 128u}) {
                 gga::SimParams params;
                 params.l1SizeKiB = l1;
-                const gga::RunResult r = gga::runMis(graph, cfg, params);
+                const gga::RunResult r = session.run(gga::RunPlan{}
+                                                         .app(gga::AppId::Mis)
+                                                         .graph(g)
+                                                         .config(cfg_name)
+                                                         .params(params))
+                                             .result;
                 if (base == 0.0)
                     base = static_cast<double>(r.cycles);
                 const double touches = static_cast<double>(

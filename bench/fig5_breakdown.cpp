@@ -12,7 +12,9 @@
  * Usage: fig5_breakdown [--csv] [--full]
  *   --full sweeps all 12 (6 for CC) configurations instead of the figure
  *   subset when searching for BEST.
- * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs.
+ * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs;
+ * GGA_SWEEP_THREADS > 1 fans each workload's per-config runs across a
+ * thread pool (results are bit-identical to the serial path).
  */
 
 #include <cstring>
@@ -37,6 +39,7 @@ main(int argc, char** argv)
             full = true;
     }
     gga::setVerbose(true);
+    const gga::SweepOptions sweep_opts{gga::defaultSweepThreads()};
 
     gga::TextTable table;
     table.setHeader({"Workload", "Config", "Norm", "Busy", "Comp", "Data",
@@ -53,7 +56,8 @@ main(int argc, char** argv)
             const gga::Workload wl{app, g};
             const auto configs = full ? gga::allConfigs(wl.dynamic())
                                       : gga::figureConfigs(wl.dynamic());
-            const gga::SweepResult sweep = gga::sweepWorkload(wl, configs);
+            const gga::SweepResult sweep = gga::sweepWorkload(
+                wl, configs, gga::SimParams{}, sweep_opts);
             gga::addSweepRows(table, sweep);
             table.addSeparator();
             const double base = static_cast<double>(sweep.baselineCycles);
@@ -70,7 +74,9 @@ main(int argc, char** argv)
 
     std::cout << "Figure 5: normalized execution-time breakdown per "
                  "workload\n(baseline: TG0 for static apps, DG1 for CC; "
-                 "scale=" << gga::evaluationScale() << ")\n\n";
+                 "scale=" << gga::evaluationScale()
+              << ", sweep threads=" << gga::defaultSweepThreads()
+              << ")\n\n";
     std::cout << (csv ? table.toCsv() : table.toText());
     std::cout << "\nPer-app geomean of BEST and PRED normalized times:\n";
     std::cout << (csv ? summary.toCsv() : summary.toText());

@@ -8,7 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "apps/runner.hpp"
+#include "api/session.hpp"
 #include "graph/generator.hpp"
 #include "model/config.hpp"
 #include "sim/cache.hpp"
@@ -123,10 +123,15 @@ void
 BM_SimulatePr(benchmark::State& state)
 {
     const gga::CsrGraph& g = benchGraph();
-    const gga::SystemConfig cfg =
-        gga::parseConfig(state.range(0) == 0 ? "TG0" : "SGR");
+    gga::Session session;
+    const gga::RunPlan plan =
+        gga::RunPlan{}
+            .app(gga::AppId::Pr)
+            .graph(g, "bench")
+            .config(state.range(0) == 0 ? "TG0" : "SGR")
+            .collectOutputs(false);
     for (auto _ : state) {
-        auto r = gga::runPr(g, cfg, gga::SimParams{});
+        auto r = session.run(plan);
         benchmark::DoNotOptimize(r);
     }
     state.SetItemsProcessed(state.iterations() * g.numEdges() * 10);

@@ -11,13 +11,16 @@
  * pull (up to 80%).
  *
  * Usage: partial_design_space [--csv]
- * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs.
+ * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs;
+ * GGA_SWEEP_THREADS > 1 fans each workload's per-config runs across a
+ * thread pool (results are bit-identical to the serial path).
  */
 
 #include <algorithm>
 #include <cstring>
 #include <iostream>
 
+#include "api/graph_store.hpp"
 #include "harness/sweep.hpp"
 #include "harness/workloads.hpp"
 #include "model/partial_tree.hpp"
@@ -49,11 +52,14 @@ main(int argc, char** argv)
     std::uint32_t rows = 0;
     for (const gga::Workload& wl : gga::allWorkloads()) {
         const auto cfgs = wl.dynamic() ? dyn_cfgs : static_cfgs;
+        const gga::SweepOptions sweep_opts{gga::defaultSweepThreads()};
         // Full-space sweep for reference best.
-        gga::SweepResult full =
-            gga::sweepWorkload(wl, gga::figureConfigs(wl.dynamic()));
+        gga::SweepResult full = gga::sweepWorkload(
+            wl, gga::figureConfigs(wl.dynamic()), gga::SimParams{},
+            sweep_opts);
         // Restricted sweep.
-        gga::SweepResult part = gga::sweepWorkload(wl, cfgs);
+        gga::SweepResult part =
+            gga::sweepWorkload(wl, cfgs, gga::SimParams{}, sweep_opts);
         gga::SystemConfig no_rlx_best = part.results.front().config;
         gga::Cycles best_cycles = part.results.front().run.cycles;
         for (const gga::ConfigResult& r : part.results) {
@@ -68,8 +74,10 @@ main(int argc, char** argv)
         }
 
         gga::GpuGeometry geom;
-        const gga::TaxonomyProfile profile =
-            gga::profileGraph(gga::workloadGraph(wl.graph), geom);
+        const gga::TaxonomyProfile profile = gga::profileGraph(
+            *gga::GraphStore::instance().get(wl.graph,
+                                             gga::evaluationScale()),
+            geom);
         const gga::SystemConfig pred = gga::predictPartialDesignSpace(
             profile, gga::algoProperties(wl.app), restriction);
 
@@ -98,7 +106,9 @@ main(int argc, char** argv)
 
     std::cout << "Partial design space (no DRFrlx): best configuration "
                  "and partial-model prediction\n(scale="
-              << gga::evaluationScale() << ")\n\n";
+              << gga::evaluationScale()
+              << ", sweep threads=" << gga::defaultSweepThreads()
+              << ")\n\n";
     std::cout << (csv ? table.toCsv() : table.toText());
     std::cout << "\nPush-to-pull flips without DRFrlx: " << flips
               << " (paper: 7). Partial-model hits: " << pred_hits << "/"

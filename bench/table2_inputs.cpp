@@ -10,6 +10,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "api/graph_store.hpp"
 #include "graph/degree_stats.hpp"
 #include "graph/presets.hpp"
 #include "support/log.hpp"
@@ -29,7 +30,9 @@ main(int argc, char** argv)
 
     bool all_match = true;
     for (gga::GraphPreset p : gga::kAllGraphPresets) {
-        const gga::CsrGraph& g = gga::presetGraph(p);
+        // Full-size inputs through the thread-safe GraphStore.
+        const auto graph = gga::GraphStore::instance().get(p);
+        const gga::CsrGraph& g = *graph;
         const gga::DegreeStats ds = gga::computeDegreeStats(g);
         const gga::TaxonomyProfile prof = gga::profileGraph(g);
         const gga::PaperGraphStats& paper = gga::paperStats(p);

@@ -1,8 +1,9 @@
 /**
  * @file
  * Reproduces the paper's Table III: the algorithmic properties (traversal,
- * control, information) of the six applications, as encoded in the model
- * library.
+ * control, information) of the six applications, as self-registered by
+ * each app in the AppRegistry, plus the size of each app's valid
+ * configuration space under the registry's config predicate.
  *
  * Usage: table3_algo_props [--csv]
  */
@@ -10,7 +11,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "model/algo_props.hpp"
+#include "api/registry.hpp"
 #include "support/table.hpp"
 
 int
@@ -18,13 +19,23 @@ main(int argc, char** argv)
 {
     const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
 
+    // All 18 raw design points; the registry predicate selects each
+    // app's valid subset (12 static / 6 dynamic).
+    std::vector<gga::SystemConfig> candidates = gga::allConfigs(false);
+    for (const gga::SystemConfig& c : gga::allConfigs(true))
+        candidates.push_back(c);
+
+    const gga::AppRegistry& reg = gga::AppRegistry::instance();
     gga::TextTable table;
-    table.setHeader({"App", "Traversal", "Control", "Information"});
-    for (gga::AppId app : gga::kAllApps) {
-        const gga::AlgoProperties& p = gga::algoProperties(app);
-        table.addRow({gga::appName(app), gga::traversalLabel(p.traversal),
+    table.setHeader({"App", "Traversal", "Control", "Information",
+                     "ValidConfigs"});
+    for (const gga::AppRegistry::Entry& e : reg.entries()) {
+        const gga::AlgoProperties& p = e.properties;
+        table.addRow({e.name, gga::traversalLabel(p.traversal),
                       gga::preferenceLabel(p.control),
-                      gga::preferenceLabel(p.information)});
+                      gga::preferenceLabel(p.information),
+                      std::to_string(
+                          reg.validConfigs(e.id, candidates).size())});
     }
     std::cout << "Table III: algorithmic properties per application\n\n";
     std::cout << (csv ? table.toCsv() : table.toText());

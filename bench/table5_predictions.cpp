@@ -13,7 +13,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "graph/presets.hpp"
+#include "api/graph_store.hpp"
 #include "model/decision_tree.hpp"
 #include "taxonomy/profile.hpp"
 #include "support/log.hpp"
@@ -52,7 +52,7 @@ main(int argc, char** argv)
         for (std::size_t ai = 0; ai < gga::kAllApps.size(); ++ai) {
             // Always full-scale: predictions profile the graph only.
             const gga::TaxonomyProfile profile =
-                gga::profileGraph(gga::presetGraph(g));
+                gga::profileGraph(*gga::GraphStore::instance().get(g));
             const std::string pred =
                 gga::predictFullDesignSpace(
                     profile, gga::algoProperties(gga::kAllApps[ai]))

@@ -12,12 +12,12 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "graph/mtx_io.hpp"
-#include "graph/presets.hpp"
-#include "model/algo_props.hpp"
 #include "model/partial_tree.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -25,25 +25,16 @@
 
 namespace {
 
-gga::CsrGraph
-loadGraph(const std::string& name)
+std::shared_ptr<const gga::CsrGraph>
+loadGraph(gga::Session& session, const std::string& name)
 {
     for (gga::GraphPreset p : gga::kAllGraphPresets) {
         if (gga::presetName(p) == name)
-            return gga::buildPresetScaled(p, 1.0);
+            return session.graphs().get(p);
     }
     std::cout << "loading MatrixMarket file " << name << "\n";
-    return gga::readMatrixMarketFile(name, /*with_weights=*/true);
-}
-
-gga::AppId
-parseApp(const std::string& name)
-{
-    for (gga::AppId a : gga::kAllApps) {
-        if (gga::appName(a) == name)
-            return a;
-    }
-    GGA_FATAL("unknown app '", name, "'");
+    return std::make_shared<const gga::CsrGraph>(
+        gga::readMatrixMarketFile(name, /*with_weights=*/true));
 }
 
 } // namespace
@@ -52,14 +43,20 @@ int
 main(int argc, char** argv)
 {
     gga::setVerbose(false);
+    gga::Session session;
     const std::string graph_name = argc > 1 ? argv[1] : "RAJ";
-    const gga::AppId app = parseApp(argc > 2 ? argv[2] : "PR");
+    const std::string app_name = argc > 2 ? argv[2] : "PR";
+    const gga::AppRegistry::Entry* entry =
+        session.registry().findByName(app_name);
+    if (!entry)
+        GGA_FATAL("unknown app '", app_name, "'");
 
-    const gga::CsrGraph graph = loadGraph(graph_name);
+    const auto graph_ptr = loadGraph(session, graph_name);
+    const gga::CsrGraph& graph = *graph_ptr;
     const gga::TaxonomyProfile profile = gga::profileGraph(graph);
-    const gga::AlgoProperties& props = gga::algoProperties(app);
+    const gga::AlgoProperties& props = entry->properties;
 
-    std::cout << "=== workload: " << gga::appName(app) << " on "
+    std::cout << "=== workload: " << entry->name << " on "
               << graph_name << " (|V|=" << graph.numVertices()
               << ", |E|=" << graph.numEdges() << ") ===\n\n";
 

@@ -1,9 +1,10 @@
 /**
  * @file
  * Example: sweep one workload (application + input graph) across the full
- * hardware/software design space and print the execution-time breakdown
- * of every configuration, normalized to the baseline (TG0, or DG1 for CC)
- * — one workload's worth of the paper's Figure 5.
+ * hardware/software design space through the Plan/Session API and print
+ * the execution-time breakdown of every configuration, normalized to the
+ * baseline (TG0, or DG1 for CC) — one workload's worth of the paper's
+ * Figure 5.
  *
  * Usage: example_design_space_sweep [APP] [GRAPH] [scale]
  *   APP   in {PR, SSSP, MIS, CLR, BC, CC}      (default PR)
@@ -14,25 +15,13 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "apps/runner.hpp"
-#include "graph/presets.hpp"
-#include "model/algo_props.hpp"
-#include "model/config.hpp"
+#include "api/session.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
 
 namespace {
-
-gga::AppId
-parseApp(const std::string& name)
-{
-    for (gga::AppId a : gga::kAllApps) {
-        if (gga::appName(a) == name)
-            return a;
-    }
-    GGA_FATAL("unknown app '", name, "'");
-}
 
 gga::GraphPreset
 parsePreset(const std::string& name)
@@ -49,29 +38,44 @@ parsePreset(const std::string& name)
 int
 main(int argc, char** argv)
 {
-    const gga::AppId app = parseApp(argc > 1 ? argv[1] : "PR");
+    gga::setVerbose(false);
+    gga::Session session;
+    const std::string app_name = argc > 1 ? argv[1] : "PR";
+    const gga::AppRegistry::Entry* entry =
+        session.registry().findByName(app_name);
+    if (!entry)
+        GGA_FATAL("unknown app '", app_name, "'");
     const gga::GraphPreset preset =
         parsePreset(argc > 2 ? argv[2] : "RAJ");
     const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
 
-    gga::setVerbose(false);
-    const gga::CsrGraph graph = gga::buildPresetScaled(preset, scale);
-    std::cout << "workload: " << gga::appName(app) << " on "
+    const auto graph = session.graphs().get(preset, scale);
+    std::cout << "workload: " << entry->name << " on "
               << gga::presetName(preset) << " x" << scale << "  (|V|="
-              << graph.numVertices() << ", |E|=" << graph.numEdges()
+              << graph->numVertices() << ", |E|=" << graph->numEdges()
               << ")\n\n";
 
-    const bool dynamic = gga::algoProperties(app).traversal ==
-                         gga::TraversalKind::Dynamic;
-    const auto configs = gga::allConfigs(dynamic);
+    // The registry's valid-config predicate filters the raw design points
+    // down to this app's space (12 static / 6 dynamic).
+    std::vector<gga::SystemConfig> candidates = gga::allConfigs(false);
+    for (const gga::SystemConfig& c : gga::allConfigs(true))
+        candidates.push_back(c);
+    const auto configs =
+        session.registry().validConfigs(entry->id, candidates);
 
     gga::TextTable table;
     table.setHeader({"Config", "Cycles", "Norm", "Busy", "Comp", "Data",
                      "Sync", "Idle", "Kernels"});
     double baseline = 0.0;
     for (const gga::SystemConfig& cfg : configs) {
-        const gga::RunResult r =
-            gga::runWorkload(app, graph, cfg, gga::SimParams{});
+        const gga::RunOutcome out =
+            session.run(gga::RunPlan{}
+                            .app(entry->id)
+                            .graph(preset)
+                            .scale(scale)
+                            .config(cfg)
+                            .collectOutputs(false));
+        const gga::RunResult& r = out.result;
         if (baseline == 0.0)
             baseline = static_cast<double>(r.cycles);
         const double total = r.breakdown.total();

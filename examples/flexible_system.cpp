@@ -3,7 +3,7 @@
  * Flexible-system demo: the paper's headline motivation is hardware with
  * *flexible* coherence/consistency (e.g. Spandex) that reconfigures per
  * workload. This example contrasts three machines over a mixed workload
- * suite:
+ * suite, all driven through the Plan/Session API:
  *
  *   fixed-SGR   — one-size-fits-all (best single static configuration)
  *   fixed-TG0   — conservative pull baseline
@@ -14,10 +14,10 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 #include <vector>
 
-#include "apps/runner.hpp"
-#include "graph/presets.hpp"
+#include "api/session.hpp"
 #include "model/decision_tree.hpp"
 #include "support/log.hpp"
 #include "support/stats.hpp"
@@ -29,6 +29,11 @@ main(int argc, char** argv)
 {
     gga::setVerbose(false);
     const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+    gga::SessionOptions opts;
+    opts.scale = scale;
+    opts.collectOutputs = false; // timing study only
+    gga::Session session(opts);
 
     // A mixed suite: one balanced-local input, one imbalanced-local, one
     // scattered power-law — with apps of differing control/information.
@@ -45,27 +50,27 @@ main(int argc, char** argv)
 
     std::vector<double> tg0_norm, sgr_norm, flex_norm;
     for (const auto& [app, preset] : suite) {
-        const gga::CsrGraph graph = gga::buildPresetScaled(preset, scale);
-        const gga::TaxonomyProfile profile = gga::profileGraph(graph);
-        const gga::SystemConfig chosen =
-            gga::predictFullDesignSpace(profile, gga::algoProperties(app));
+        const auto graph = session.graphs().get(preset, scale);
+        const gga::TaxonomyProfile profile = gga::profileGraph(*graph);
+        const gga::SystemConfig chosen = gga::predictFullDesignSpace(
+            profile, session.registry().at(app).properties);
 
-        const auto tg0 =
-            gga::runWorkload(app, graph, gga::parseConfig("TG0"));
-        const auto sgr =
-            gga::runWorkload(app, graph, gga::parseConfig("SGR"));
-        const auto flex = gga::runWorkload(app, graph, chosen);
+        const gga::RunPlan base = gga::RunPlan{}.app(app).graph(preset);
+        const auto tg0 = session.run(gga::RunPlan(base).config("TG0"));
+        const auto sgr = session.run(gga::RunPlan(base).config("SGR"));
+        const auto flex = session.run(gga::RunPlan(base).config(chosen));
 
-        const double base = static_cast<double>(tg0.cycles);
+        const double baseline = static_cast<double>(tg0.result.cycles);
         tg0_norm.push_back(1.0);
-        sgr_norm.push_back(sgr.cycles / base);
-        flex_norm.push_back(flex.cycles / base);
+        sgr_norm.push_back(sgr.result.cycles / baseline);
+        flex_norm.push_back(flex.result.cycles / baseline);
 
-        table.addRow({gga::appName(app) + "-" + gga::presetName(preset),
-                      std::to_string(tg0.cycles),
-                      std::to_string(sgr.cycles),
-                      std::to_string(flex.cycles), chosen.name(),
-                      gga::fmtDouble(double(sgr.cycles) / flex.cycles, 2) +
+        table.addRow({tg0.appName + "-" + tg0.graphName,
+                      std::to_string(tg0.result.cycles),
+                      std::to_string(sgr.result.cycles),
+                      std::to_string(flex.result.cycles), chosen.name(),
+                      gga::fmtDouble(double(sgr.result.cycles) /
+                                         flex.result.cycles, 2) +
                           "x"});
     }
 

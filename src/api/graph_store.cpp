@@ -1,0 +1,84 @@
+#include "api/graph_store.hpp"
+
+#include "support/log.hpp"
+
+namespace gga {
+
+GraphStore&
+GraphStore::instance()
+{
+    static GraphStore store;
+    return store;
+}
+
+GraphStore::GraphPtr
+GraphStore::get(GraphPreset p, double scale)
+{
+    GGA_ASSERT(scale > 0.0 && scale <= 1.0,
+               "GraphStore scale must be in (0, 1], got ", scale);
+    const Key key{p, scale};
+    std::promise<GraphPtr> promise;
+    std::shared_future<GraphPtr> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            builder = true;
+            future = promise.get_future().share();
+            cache_.emplace(key, future);
+        } else {
+            future = it->second;
+        }
+    }
+    if (builder) {
+        // Build outside the lock so distinct keys build concurrently;
+        // waiters for this key block on the shared future instead.
+        try {
+            GraphPtr built;
+            if (scale >= 1.0) {
+                // Alias the process-wide presetGraph memo so the
+                // full-size input exists once no matter the access path;
+                // evicting such an entry only drops the alias.
+                built = GraphPtr(&presetGraph(p), [](const CsrGraph*) {});
+            } else {
+                built = std::make_shared<const CsrGraph>(
+                    buildPresetScaled(p, scale));
+            }
+            promise.set_value(std::move(built));
+        } catch (...) {
+            // Don't poison the cache slot: drop it so the next get()
+            // retries, and propagate the failure to current waiters.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                cache_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
+    return future.get();
+}
+
+bool
+GraphStore::evict(GraphPreset p, double scale)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.erase(Key{p, scale}) > 0;
+}
+
+void
+GraphStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+}
+
+std::size_t
+GraphStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+} // namespace gga

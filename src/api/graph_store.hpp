@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GraphStore: a thread-safe, process-wide cache of built preset graphs,
+ * keyed on (preset, scale), with explicit eviction.
+ *
+ * Replaces the non-thread-safe function-local cache that used to back
+ * workloadGraph(): concurrent callers (e.g. the parallel design-space
+ * sweep) may request graphs from any thread; the first requester builds,
+ * everyone else blocks on the same build instead of duplicating it.
+ * Entries are handed out as shared_ptr so eviction never invalidates a
+ * graph an in-flight run is still using.
+ */
+
+#ifndef GGA_API_GRAPH_STORE_HPP
+#define GGA_API_GRAPH_STORE_HPP
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "graph/csr.hpp"
+#include "graph/presets.hpp"
+
+namespace gga {
+
+class GraphStore
+{
+  public:
+    using GraphPtr = std::shared_ptr<const CsrGraph>;
+
+    /** The process-wide store. */
+    static GraphStore& instance();
+
+    GraphStore() = default;
+    GraphStore(const GraphStore&) = delete;
+    GraphStore& operator=(const GraphStore&) = delete;
+
+    /**
+     * The preset graph at @p scale (1.0 = the paper-sized input), built on
+     * first request and cached. Thread-safe; concurrent requests for the
+     * same key share one deterministic build, and a failed build is
+     * dropped from the cache so a later request retries. Full-scale
+     * entries alias the presetGraph() memo (one copy process-wide).
+     */
+    GraphPtr get(GraphPreset p, double scale = 1.0);
+
+    /**
+     * Drop the cached entry for (p, scale). Returns whether an entry was
+     * present. Outstanding GraphPtr handles stay valid; the next get()
+     * rebuilds. For full-scale entries only the alias is dropped — the
+     * underlying graph stays memoized in presetGraph().
+     */
+    bool evict(GraphPreset p, double scale = 1.0);
+
+    /** Drop every cached entry. */
+    void clear();
+
+    /** Number of cached (or in-flight) entries. */
+    std::size_t size() const;
+
+  private:
+    using Key = std::pair<GraphPreset, double>;
+
+    mutable std::mutex mu_;
+    std::map<Key, std::shared_future<GraphPtr>> cache_;
+};
+
+} // namespace gga
+
+#endif // GGA_API_GRAPH_STORE_HPP

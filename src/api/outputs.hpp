@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Typed per-application functional outputs for the Plan/Session API.
+ *
+ * Each application publishes a dedicated result struct; a run returns the
+ * matching alternative inside the AppOutput variant. This replaces the
+ * eight raw output pointers of the legacy AppOutputs sink struct
+ * (apps/app.hpp) with owned, type-safe values.
+ */
+
+#ifndef GGA_API_OUTPUTS_HPP
+#define GGA_API_OUTPUTS_HPP
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+namespace gga {
+
+/** PageRank: final rank per vertex (sums to ~1). */
+struct PrOutput
+{
+    std::vector<float> ranks;
+};
+
+/** SSSP: weighted distance from vertex 0 (UINT32_MAX = unreachable). */
+struct SsspOutput
+{
+    std::vector<std::uint32_t> dist;
+};
+
+/** Maximal independent set: per-vertex state (1 in set, 2 out). */
+struct MisOutput
+{
+    std::vector<std::uint32_t> state;
+};
+
+/** Graph coloring: color index per vertex. */
+struct ClrOutput
+{
+    std::vector<std::uint32_t> colors;
+};
+
+/** Betweenness centrality pieces for source 0. */
+struct BcOutput
+{
+    std::vector<double> delta;        ///< dependency accumulation
+    std::vector<std::uint32_t> level; ///< BFS level (UINT32_MAX unreachable)
+    std::vector<double> sigma;        ///< shortest-path counts
+};
+
+/** Connected components: representative label per vertex. */
+struct CcOutput
+{
+    std::vector<std::uint32_t> labels;
+};
+
+/**
+ * The functional output of one run. Holds std::monostate when output
+ * collection was disabled (RunPlan::collectOutputs(false)).
+ */
+using AppOutput = std::variant<std::monostate, PrOutput, SsspOutput,
+                               MisOutput, ClrOutput, BcOutput, CcOutput>;
+
+} // namespace gga
+
+#endif // GGA_API_OUTPUTS_HPP

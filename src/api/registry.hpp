@@ -1,0 +1,102 @@
+/**
+ * @file
+ * AppRegistry: the queryable table of applications behind the Plan/Session
+ * API.
+ *
+ * Each application translation unit (src/apps/<app>.cpp) self-registers a
+ * complete entry — its typed runner, its legacy sink-based runner, its
+ * AlgoProperties, and its valid-configuration predicate — via a
+ * registerXxxApp hook. The registry replaces the hardcoded switch dispatch
+ * and the fatal-on-invalid-config check that used to live in runWorkload
+ * with a table that callers can enumerate, query, and extend.
+ */
+
+#ifndef GGA_API_REGISTRY_HPP
+#define GGA_API_REGISTRY_HPP
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/outputs.hpp"
+#include "apps/app.hpp"
+#include "graph/csr.hpp"
+#include "model/algo_props.hpp"
+#include "model/config.hpp"
+#include "sim/params.hpp"
+
+namespace gga {
+
+class AppRegistry
+{
+  public:
+    /** Typed runner: fills @p out (when non-null) with the app's output. */
+    using RunnerFn = std::function<RunResult(
+        const CsrGraph&, const SystemConfig&, const SimParams&, AppOutput*)>;
+
+    /** Legacy runner with raw-pointer sinks (kept for parity shims). */
+    using LegacyRunnerFn = std::function<RunResult(
+        const CsrGraph&, const SystemConfig&, const SimParams&, AppOutputs*)>;
+
+    /** Is @p cfg's update-propagation dimension valid for this app? */
+    using ConfigPredicate = std::function<bool(const SystemConfig&)>;
+
+    /** One registered application. */
+    struct Entry
+    {
+        AppId id{};
+        std::string name;              ///< short uppercase name ("PR", ...)
+        AlgoProperties properties;     ///< paper Table III row
+        std::string configRequirement; ///< human-readable predicate summary
+        RunnerFn run;
+        LegacyRunnerFn runLegacy;
+        ConfigPredicate validConfig;
+    };
+
+    /** The process-wide registry with all built-in apps registered. */
+    static const AppRegistry& instance();
+
+    /** Add an entry (later registrations of the same id are rejected). */
+    void add(Entry entry);
+
+    /** Entry for @p app, or nullptr if not registered. */
+    const Entry* find(AppId app) const;
+
+    /** Entry for @p app; fatal if not registered. */
+    const Entry& at(AppId app) const;
+
+    /** Entry whose name matches @p name (case-sensitive), or nullptr. */
+    const Entry* findByName(std::string_view name) const;
+
+    /** All entries, in registration order. */
+    const std::vector<Entry>& entries() const { return entries_; }
+
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Configurations from @p candidates that @p app accepts — the
+     * registry-backed replacement for hand-filtering allConfigs().
+     */
+    std::vector<SystemConfig>
+    validConfigs(AppId app, const std::vector<SystemConfig>& candidates) const;
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Self-registration hooks, one per application translation unit. Each app
+ * defines its own entry (runner adapters, properties, config predicate)
+ * next to its kernels; the registry singleton invokes these once.
+ */
+void registerPrApp(AppRegistry& reg);
+void registerSsspApp(AppRegistry& reg);
+void registerMisApp(AppRegistry& reg);
+void registerClrApp(AppRegistry& reg);
+void registerBcApp(AppRegistry& reg);
+void registerCcApp(AppRegistry& reg);
+
+} // namespace gga
+
+#endif // GGA_API_REGISTRY_HPP

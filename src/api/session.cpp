@@ -1,0 +1,175 @@
+#include "api/session.hpp"
+
+#include "support/log.hpp"
+
+namespace gga {
+
+RunPlan&
+RunPlan::app(AppId a)
+{
+    app_ = a;
+    return *this;
+}
+
+RunPlan&
+RunPlan::graph(GraphPreset p)
+{
+    preset_ = p;
+    custom_.reset();
+    graphLabel_.clear();
+    return *this;
+}
+
+RunPlan&
+RunPlan::graph(std::shared_ptr<const CsrGraph> g, std::string label)
+{
+    custom_ = std::move(g);
+    preset_.reset();
+    graphLabel_ = std::move(label);
+    return *this;
+}
+
+RunPlan&
+RunPlan::graph(const CsrGraph& g, std::string label)
+{
+    // Non-owning handle: the caller guarantees the graph outlives the run.
+    return graph(std::shared_ptr<const CsrGraph>(&g, [](const CsrGraph*) {}),
+                 std::move(label));
+}
+
+RunPlan&
+RunPlan::scale(double s)
+{
+    scale_ = s;
+    return *this;
+}
+
+RunPlan&
+RunPlan::config(const SystemConfig& c)
+{
+    config_ = c;
+    badConfigName_.clear();
+    return *this;
+}
+
+RunPlan&
+RunPlan::config(std::string_view name)
+{
+    const std::optional<SystemConfig> parsed = tryParseConfig(name);
+    if (parsed) {
+        config_ = *parsed;
+        badConfigName_.clear();
+    } else {
+        config_.reset();
+        badConfigName_ = std::string(name);
+    }
+    return *this;
+}
+
+RunPlan&
+RunPlan::params(const SimParams& p)
+{
+    params_ = p;
+    return *this;
+}
+
+RunPlan&
+RunPlan::collectOutputs(bool on)
+{
+    collectOutputs_ = on;
+    return *this;
+}
+
+std::string
+RunOutcome::name() const
+{
+    return appName + "-" + graphName + " @ " + config.name();
+}
+
+Session::Session(SessionOptions opts) : opts_(std::move(opts))
+{
+    GGA_ASSERT(opts_.scale > 0.0 && opts_.scale <= 1.0,
+               "session scale must be in (0, 1], got ", opts_.scale);
+}
+
+const AppRegistry&
+Session::registry() const
+{
+    return AppRegistry::instance();
+}
+
+GraphStore&
+Session::graphs() const
+{
+    return GraphStore::instance();
+}
+
+std::optional<std::string>
+Session::validate(const RunPlan& plan) const
+{
+    if (!plan.plannedApp())
+        return "plan has no application (RunPlan::app)";
+    const AppRegistry::Entry* entry = registry().find(*plan.plannedApp());
+    if (!entry)
+        return "application " +
+               std::to_string(static_cast<int>(*plan.plannedApp())) +
+               " is not registered";
+    if (!plan.plannedPreset() && !plan.customGraph())
+        return "plan has no input graph (RunPlan::graph)";
+    if (plan.plannedScale() &&
+        (*plan.plannedScale() <= 0.0 || *plan.plannedScale() > 1.0))
+        return "plan scale must be in (0, 1]";
+    if (!plan.badConfigName().empty())
+        return "malformed configuration name '" + plan.badConfigName() + "'";
+    if (!plan.plannedConfig())
+        return "plan has no configuration (RunPlan::config)";
+    if (!entry->validConfig(*plan.plannedConfig()))
+        return entry->name + " " + entry->configRequirement + ", got " +
+               plan.plannedConfig()->name();
+    return std::nullopt;
+}
+
+std::optional<RunOutcome>
+Session::tryRun(const RunPlan& plan, std::string* error)
+{
+    if (const std::optional<std::string> why = validate(plan)) {
+        if (error)
+            *error = *why;
+        return std::nullopt;
+    }
+    const AppRegistry::Entry& entry = registry().at(*plan.plannedApp());
+
+    GraphStore::GraphPtr graph = plan.customGraph();
+    std::string graph_name = plan.graphLabel();
+    if (!graph) {
+        const double scale = plan.plannedScale().value_or(opts_.scale);
+        graph = graphs().get(*plan.plannedPreset(), scale);
+        graph_name = presetName(*plan.plannedPreset());
+    }
+
+    RunOutcome out;
+    out.app = entry.id;
+    out.appName = entry.name;
+    out.graphName = std::move(graph_name);
+    out.config = *plan.plannedConfig();
+    const SimParams params = plan.plannedParams().value_or(opts_.params);
+    const bool collect = plan.outputsRequested() && opts_.collectOutputs;
+    if (opts_.verboseRuns)
+        GGA_INFORM("session: running ", out.appName, "-", out.graphName,
+                   " on ", out.config.name());
+    out.result = entry.run(*graph, out.config, params,
+                           collect ? &out.output : nullptr);
+    return out;
+}
+
+RunOutcome
+Session::run(const RunPlan& plan)
+{
+    std::string error;
+    std::optional<RunOutcome> out = tryRun(plan, &error);
+    if (!out)
+        GGA_FATAL("invalid run plan: ", error);
+    return std::move(*out);
+}
+
+} // namespace gga

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The Plan/Session workload API: declarative per-run plans, validated
+ * against the AppRegistry, executed through the thread-safe GraphStore.
+ *
+ *   Session session;
+ *   RunOutcome out = session.run(RunPlan{}
+ *                                    .app(AppId::Pr)
+ *                                    .graph(GraphPreset::Raj)
+ *                                    .scale(0.25)
+ *                                    .config("SGR"));
+ *   out.result.cycles;      // timing
+ *   out.pr()->ranks;        // typed functional output
+ *
+ * This replaces the legacy free-function entry points (runPr, runSssp,
+ * ..., runWorkload) and their raw-pointer AppOutputs sinks; those remain
+ * as thin deprecated shims for parity testing.
+ */
+
+#ifndef GGA_API_SESSION_HPP
+#define GGA_API_SESSION_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/graph_store.hpp"
+#include "api/outputs.hpp"
+#include "api/registry.hpp"
+#include "graph/presets.hpp"
+#include "model/config.hpp"
+#include "sim/params.hpp"
+
+namespace gga {
+
+/** Declarative description of one workload run (builder-style). */
+class RunPlan
+{
+  public:
+    RunPlan() = default;
+
+    /** Which application to run (required). */
+    RunPlan& app(AppId a);
+
+    /** Run on a preset input, resolved through the session's GraphStore. */
+    RunPlan& graph(GraphPreset p);
+
+    /** Run on a caller-owned graph (shared ownership). */
+    RunPlan& graph(std::shared_ptr<const CsrGraph> g,
+                   std::string label = "custom");
+
+    /**
+     * Run on a caller-owned graph without transferring ownership. The
+     * graph must outlive the run.
+     */
+    RunPlan& graph(const CsrGraph& g, std::string label = "custom");
+
+    /** Preset scale override in (0, 1]; defaults to the session's scale. */
+    RunPlan& scale(double s);
+
+    /** The design-space point to simulate (required). */
+    RunPlan& config(const SystemConfig& c);
+
+    /**
+     * Parse a paper-style config name ("SGR"). A malformed name is a
+     * validation error reported by Session::validate / tryRun, not a
+     * fatal.
+     */
+    RunPlan& config(std::string_view name);
+
+    /** Hardware-parameter override; defaults to the session's params. */
+    RunPlan& params(const SimParams& p);
+
+    /** Collect the app's functional output (default on). */
+    RunPlan& collectOutputs(bool on = true);
+
+    // --- introspection (used by Session and tests) ---
+    std::optional<AppId> plannedApp() const { return app_; }
+    std::optional<GraphPreset> plannedPreset() const { return preset_; }
+    const std::shared_ptr<const CsrGraph>& customGraph() const
+    {
+        return custom_;
+    }
+    const std::string& graphLabel() const { return graphLabel_; }
+    std::optional<double> plannedScale() const { return scale_; }
+    std::optional<SystemConfig> plannedConfig() const { return config_; }
+    const std::string& badConfigName() const { return badConfigName_; }
+    std::optional<SimParams> plannedParams() const { return params_; }
+    bool outputsRequested() const { return collectOutputs_; }
+
+  private:
+    std::optional<AppId> app_;
+    std::optional<GraphPreset> preset_;
+    std::shared_ptr<const CsrGraph> custom_;
+    std::string graphLabel_;
+    std::optional<double> scale_;
+    std::optional<SystemConfig> config_;
+    std::string badConfigName_;
+    std::optional<SimParams> params_;
+    bool collectOutputs_ = true;
+};
+
+/** Everything one run produced: identity, timing, typed outputs. */
+struct RunOutcome
+{
+    AppId app{};
+    std::string appName;
+    std::string graphName;
+    SystemConfig config;
+    RunResult result;
+    AppOutput output; ///< monostate when collection was disabled
+
+    /** Typed accessors; nullptr when this run produced something else. */
+    const PrOutput* pr() const { return std::get_if<PrOutput>(&output); }
+    const SsspOutput* sssp() const
+    {
+        return std::get_if<SsspOutput>(&output);
+    }
+    const MisOutput* mis() const { return std::get_if<MisOutput>(&output); }
+    const ClrOutput* clr() const { return std::get_if<ClrOutput>(&output); }
+    const BcOutput* bc() const { return std::get_if<BcOutput>(&output); }
+    const CcOutput* cc() const { return std::get_if<CcOutput>(&output); }
+
+    bool hasOutput() const
+    {
+        return !std::holds_alternative<std::monostate>(output);
+    }
+
+    /** "PR-RAJ @ SGR"-style label. */
+    std::string name() const;
+};
+
+/** Session-wide defaults applied to plans that don't override them. */
+struct SessionOptions
+{
+    double scale = 1.0;    ///< preset scale for plans without .scale()
+    SimParams params;      ///< hardware parameters for plans without .params()
+    bool collectOutputs = true;
+    bool verboseRuns = false; ///< GGA_INFORM one line per run
+};
+
+/**
+ * Facade over the registry, the graph store, and the simulator: validates
+ * RunPlans and executes them. Stateless between runs apart from the
+ * shared GraphStore; one Session may serve many threads concurrently.
+ */
+class Session
+{
+  public:
+    explicit Session(SessionOptions opts = {});
+
+    const SessionOptions& options() const { return opts_; }
+    const AppRegistry& registry() const;
+    GraphStore& graphs() const;
+
+    /**
+     * Why @p plan cannot run — missing app/graph/config, malformed config
+     * name, or an app x config mismatch — or nullopt when it is valid.
+     */
+    std::optional<std::string> validate(const RunPlan& plan) const;
+
+    /**
+     * Run @p plan; returns nullopt (and the reason via @p error) instead
+     * of aborting when the plan is invalid.
+     */
+    std::optional<RunOutcome> tryRun(const RunPlan& plan,
+                                     std::string* error = nullptr);
+
+    /** Run @p plan; fatal on an invalid plan. */
+    RunOutcome run(const RunPlan& plan);
+
+  private:
+    SessionOptions opts_;
+};
+
+} // namespace gga
+
+#endif // GGA_API_SESSION_HPP

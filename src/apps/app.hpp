@@ -41,7 +41,13 @@ struct RunResult
 /** Collect a RunResult from a finished Gpu. */
 RunResult collectResult(Gpu& gpu);
 
-/** Optional sinks for each application's functional output. */
+/**
+ * Optional sinks for each application's functional output.
+ *
+ * DEPRECATED: the Plan/Session API (api/outputs.hpp) returns owned, typed
+ * per-app outputs instead of this raw-pointer grab-bag. Kept for the
+ * legacy runX shims and parity tests.
+ */
 struct AppOutputs
 {
     std::vector<float>* prRanks = nullptr;

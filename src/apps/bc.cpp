@@ -10,6 +10,7 @@
 
 #include "apps/runner.hpp"
 
+#include "api/registry.hpp"
 #include "apps/kernel_util.hpp"
 #include "support/log.hpp"
 
@@ -474,6 +475,44 @@ runBc(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
             *out->bcSigma = st.sigma.host();
     }
     return collectResult(gpu);
+}
+
+
+namespace {
+
+/** Adapter from the legacy sink signature to the typed AppOutput. */
+RunResult
+runBcTyped(const CsrGraph& g, const SystemConfig& cfg,
+           const SimParams& params, AppOutput* out)
+{
+    if (!out)
+        return runBc(g, cfg, params, nullptr);
+    BcOutput typed;
+    AppOutputs sinks;
+    sinks.bcDelta = &typed.delta;
+    sinks.bcLevel = &typed.level;
+    sinks.bcSigma = &typed.sigma;
+    const RunResult r = runBc(g, cfg, params, &sinks);
+    *out = std::move(typed);
+    return r;
+}
+
+} // namespace
+
+void
+registerBcApp(AppRegistry& reg)
+{
+    AppRegistry::Entry e;
+    e.id = AppId::Bc;
+    e.name = appName(AppId::Bc);
+    e.properties = algoProperties(AppId::Bc);
+    e.configRequirement = "has a static traversal and requires Push or Pull";
+    e.run = &runBcTyped;
+    e.runLegacy = &runBc;
+    e.validConfig = [](const SystemConfig& cfg) {
+        return cfg.prop != UpdateProp::PushPull;
+    };
+    reg.add(std::move(e));
 }
 
 } // namespace gga

@@ -15,6 +15,7 @@
 
 #include "apps/runner.hpp"
 
+#include "api/registry.hpp"
 #include "apps/kernel_util.hpp"
 #include "support/log.hpp"
 
@@ -200,6 +201,42 @@ runCc(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
     if (out && out->ccLabels)
         *out->ccLabels = st.parent.host();
     return collectResult(gpu);
+}
+
+
+namespace {
+
+/** Adapter from the legacy sink signature to the typed AppOutput. */
+RunResult
+runCcTyped(const CsrGraph& g, const SystemConfig& cfg,
+           const SimParams& params, AppOutput* out)
+{
+    if (!out)
+        return runCc(g, cfg, params, nullptr);
+    CcOutput typed;
+    AppOutputs sinks;
+    sinks.ccLabels = &typed.labels;
+    const RunResult r = runCc(g, cfg, params, &sinks);
+    *out = std::move(typed);
+    return r;
+}
+
+} // namespace
+
+void
+registerCcApp(AppRegistry& reg)
+{
+    AppRegistry::Entry e;
+    e.id = AppId::Cc;
+    e.name = appName(AppId::Cc);
+    e.properties = algoProperties(AppId::Cc);
+    e.configRequirement = "has a dynamic traversal and requires PushPull";
+    e.run = &runCcTyped;
+    e.runLegacy = &runCc;
+    e.validConfig = [](const SystemConfig& cfg) {
+        return cfg.prop == UpdateProp::PushPull;
+    };
+    reg.add(std::move(e));
 }
 
 } // namespace gga

@@ -11,6 +11,7 @@
 
 #include "apps/runner.hpp"
 
+#include "api/registry.hpp"
 #include "apps/kernel_util.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -249,6 +250,42 @@ runClr(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
     if (out && out->colors)
         *out->colors = st.color.host();
     return collectResult(gpu);
+}
+
+
+namespace {
+
+/** Adapter from the legacy sink signature to the typed AppOutput. */
+RunResult
+runClrTyped(const CsrGraph& g, const SystemConfig& cfg,
+            const SimParams& params, AppOutput* out)
+{
+    if (!out)
+        return runClr(g, cfg, params, nullptr);
+    ClrOutput typed;
+    AppOutputs sinks;
+    sinks.colors = &typed.colors;
+    const RunResult r = runClr(g, cfg, params, &sinks);
+    *out = std::move(typed);
+    return r;
+}
+
+} // namespace
+
+void
+registerClrApp(AppRegistry& reg)
+{
+    AppRegistry::Entry e;
+    e.id = AppId::Clr;
+    e.name = appName(AppId::Clr);
+    e.properties = algoProperties(AppId::Clr);
+    e.configRequirement = "has a static traversal and requires Push or Pull";
+    e.run = &runClrTyped;
+    e.runLegacy = &runClr;
+    e.validConfig = [](const SystemConfig& cfg) {
+        return cfg.prop != UpdateProp::PushPull;
+    };
+    reg.add(std::move(e));
 }
 
 } // namespace gga

@@ -11,6 +11,7 @@
 
 #include "apps/runner.hpp"
 
+#include "api/registry.hpp"
 #include "apps/kernel_util.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -366,6 +367,42 @@ runMis(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
     if (out && out->misState)
         *out->misState = st.state.host();
     return collectResult(gpu);
+}
+
+
+namespace {
+
+/** Adapter from the legacy sink signature to the typed AppOutput. */
+RunResult
+runMisTyped(const CsrGraph& g, const SystemConfig& cfg,
+            const SimParams& params, AppOutput* out)
+{
+    if (!out)
+        return runMis(g, cfg, params, nullptr);
+    MisOutput typed;
+    AppOutputs sinks;
+    sinks.misState = &typed.state;
+    const RunResult r = runMis(g, cfg, params, &sinks);
+    *out = std::move(typed);
+    return r;
+}
+
+} // namespace
+
+void
+registerMisApp(AppRegistry& reg)
+{
+    AppRegistry::Entry e;
+    e.id = AppId::Mis;
+    e.name = appName(AppId::Mis);
+    e.properties = algoProperties(AppId::Mis);
+    e.configRequirement = "has a static traversal and requires Push or Pull";
+    e.run = &runMisTyped;
+    e.runLegacy = &runMis;
+    e.validConfig = [](const SystemConfig& cfg) {
+        return cfg.prop != UpdateProp::PushPull;
+    };
+    reg.add(std::move(e));
 }
 
 } // namespace gga

@@ -11,6 +11,7 @@
 
 #include "apps/runner.hpp"
 
+#include "api/registry.hpp"
 #include "apps/kernel_util.hpp"
 #include "support/log.hpp"
 
@@ -205,6 +206,42 @@ runPr(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
     if (out && out->prRanks)
         *out->prRanks = st.rank.host();
     return collectResult(gpu);
+}
+
+
+namespace {
+
+/** Adapter from the legacy sink signature to the typed AppOutput. */
+RunResult
+runPrTyped(const CsrGraph& g, const SystemConfig& cfg,
+           const SimParams& params, AppOutput* out)
+{
+    if (!out)
+        return runPr(g, cfg, params, nullptr);
+    PrOutput typed;
+    AppOutputs sinks;
+    sinks.prRanks = &typed.ranks;
+    const RunResult r = runPr(g, cfg, params, &sinks);
+    *out = std::move(typed);
+    return r;
+}
+
+} // namespace
+
+void
+registerPrApp(AppRegistry& reg)
+{
+    AppRegistry::Entry e;
+    e.id = AppId::Pr;
+    e.name = appName(AppId::Pr);
+    e.properties = algoProperties(AppId::Pr);
+    e.configRequirement = "has a static traversal and requires Push or Pull";
+    e.run = &runPrTyped;
+    e.runLegacy = &runPr;
+    e.validConfig = [](const SystemConfig& cfg) {
+        return cfg.prop != UpdateProp::PushPull;
+    };
+    reg.add(std::move(e));
 }
 
 } // namespace gga

@@ -1,5 +1,6 @@
 #include "apps/runner.hpp"
 
+#include "api/registry.hpp"
 #include "support/log.hpp"
 
 namespace gga {
@@ -8,30 +9,11 @@ RunResult
 runWorkload(AppId app, const CsrGraph& g, const SystemConfig& cfg,
             const SimParams& params, AppOutputs* out)
 {
-    const AlgoProperties& props = algoProperties(app);
-    if (props.traversal == TraversalKind::Dynamic) {
-        GGA_ASSERT(cfg.prop == UpdateProp::PushPull,
-                   appName(app), " requires a PushPull configuration, got ",
-                   cfg.name());
-    } else {
-        GGA_ASSERT(cfg.prop != UpdateProp::PushPull,
-                   appName(app), " requires Push or Pull, got ", cfg.name());
-    }
-    switch (app) {
-      case AppId::Pr:
-        return runPr(g, cfg, params, out);
-      case AppId::Sssp:
-        return runSssp(g, cfg, params, out);
-      case AppId::Mis:
-        return runMis(g, cfg, params, out);
-      case AppId::Clr:
-        return runClr(g, cfg, params, out);
-      case AppId::Bc:
-        return runBc(g, cfg, params, out);
-      case AppId::Cc:
-        return runCc(g, cfg, params, out);
-    }
-    GGA_PANIC("unknown application");
+    const AppRegistry::Entry& entry = AppRegistry::instance().at(app);
+    if (!entry.validConfig(cfg))
+        GGA_FATAL(entry.name, " ", entry.configRequirement, ", got ",
+                  cfg.name());
+    return entry.runLegacy(g, cfg, params, out);
 }
 
 } // namespace gga

@@ -1,7 +1,13 @@
 /**
  * @file
- * Public entry points: run one (application, graph, configuration)
+ * Legacy entry points: run one (application, graph, configuration)
  * workload on the simulator and collect timing plus functional outputs.
+ *
+ * DEPRECATED: new code should use the Plan/Session API (api/session.hpp),
+ * which returns typed outputs and validates app x config pairs without
+ * aborting. These free functions remain as thin shims — they are the
+ * registered legacy runners behind the AppRegistry — so tests can assert
+ * old-vs-new parity.
  */
 
 #ifndef GGA_APPS_RUNNER_HPP
@@ -40,9 +46,10 @@ RunResult runCc(const CsrGraph& g, const SystemConfig& cfg,
                 const SimParams& params, AppOutputs* out = nullptr);
 
 /**
- * Dispatch to the application's runner. Fatal if the configuration's
- * update-propagation dimension is invalid for the app (CC requires
- * PushPull; all others require Push or Pull).
+ * Dispatch to the application's runner through the AppRegistry. Fatal if
+ * the configuration's update-propagation dimension is invalid for the app
+ * (CC requires PushPull; all others require Push or Pull). Prefer
+ * Session::tryRun, which rejects invalid pairs without aborting.
  */
 RunResult runWorkload(AppId app, const CsrGraph& g, const SystemConfig& cfg,
                       const SimParams& params = SimParams{},

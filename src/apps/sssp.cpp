@@ -11,6 +11,7 @@
 
 #include "apps/runner.hpp"
 
+#include "api/registry.hpp"
 #include "apps/kernel_util.hpp"
 #include "support/log.hpp"
 
@@ -253,6 +254,42 @@ runSssp(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
     if (out && out->ssspDist)
         *out->ssspDist = st.dist.host();
     return collectResult(gpu);
+}
+
+
+namespace {
+
+/** Adapter from the legacy sink signature to the typed AppOutput. */
+RunResult
+runSsspTyped(const CsrGraph& g, const SystemConfig& cfg,
+             const SimParams& params, AppOutput* out)
+{
+    if (!out)
+        return runSssp(g, cfg, params, nullptr);
+    SsspOutput typed;
+    AppOutputs sinks;
+    sinks.ssspDist = &typed.dist;
+    const RunResult r = runSssp(g, cfg, params, &sinks);
+    *out = std::move(typed);
+    return r;
+}
+
+} // namespace
+
+void
+registerSsspApp(AppRegistry& reg)
+{
+    AppRegistry::Entry e;
+    e.id = AppId::Sssp;
+    e.name = appName(AppId::Sssp);
+    e.properties = algoProperties(AppId::Sssp);
+    e.configRequirement = "has a static traversal and requires Push or Pull";
+    e.run = &runSsspTyped;
+    e.runLegacy = &runSssp;
+    e.validConfig = [](const SystemConfig& cfg) {
+        return cfg.prop != UpdateProp::PushPull;
+    };
+    reg.add(std::move(e));
 }
 
 } // namespace gga

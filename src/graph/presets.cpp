@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "support/log.hpp"
 
@@ -125,7 +126,9 @@ presetSpec(GraphPreset p)
 const CsrGraph&
 presetGraph(GraphPreset p)
 {
+    static std::mutex mu;
     static std::map<GraphPreset, CsrGraph> cache;
+    std::lock_guard<std::mutex> lock(mu);
     auto it = cache.find(p);
     if (it == cache.end()) {
         GGA_INFORM("generating preset graph ", presetName(p));

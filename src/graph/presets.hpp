@@ -63,7 +63,9 @@ GenSpec presetSpec(GraphPreset p);
 
 /**
  * Build (and memoize) the preset graph. The reference stays valid for the
- * lifetime of the process; generation is deterministic. Not thread-safe.
+ * lifetime of the process; generation is deterministic. Thread-safe (the
+ * GraphStore aliases this memo for full-scale entries, so one copy serves
+ * both access paths).
  */
 const CsrGraph& presetGraph(GraphPreset p);
 

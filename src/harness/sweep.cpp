@@ -1,7 +1,12 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
 
+#include "api/registry.hpp"
 #include "support/log.hpp"
 
 namespace gga {
@@ -36,9 +41,26 @@ predictWorkload(const Workload& workload, const SimParams& params)
     return predictFullDesignSpace(profile, algoProperties(workload.app));
 }
 
+unsigned
+defaultSweepThreads()
+{
+    static const unsigned threads = [] {
+        const char* env = std::getenv("GGA_SWEEP_THREADS");
+        if (!env)
+            return 1u;
+        const long t = std::atol(env);
+        if (t < 1) {
+            GGA_WARN("GGA_SWEEP_THREADS='", env, "' is invalid; using 1");
+            return 1u;
+        }
+        return static_cast<unsigned>(t);
+    }();
+    return threads;
+}
+
 SweepResult
 sweepWorkload(const Workload& workload, std::vector<SystemConfig> configs,
-              const SimParams& params)
+              const SimParams& params, const SweepOptions& opts)
 {
     SweepResult sweep;
     sweep.workload = workload;
@@ -52,10 +74,44 @@ sweepWorkload(const Workload& workload, std::vector<SystemConfig> configs,
     ensure(sweep.predicted);
 
     const CsrGraph& graph = workloadGraph(workload.graph);
-    for (const SystemConfig& cfg : configs) {
-        GGA_INFORM("running ", workload.name(), " on ", cfg.name());
-        ConfigResult r{cfg, runWorkload(workload.app, graph, cfg, params)};
-        sweep.results.push_back(std::move(r));
+    const AppRegistry::Entry& entry =
+        AppRegistry::instance().at(workload.app);
+
+    // Slot i holds configs[i]'s result, so the result ordering (and the
+    // first-minimum BEST tie-break below) is identical no matter how many
+    // threads fan out the runs.
+    sweep.results.resize(configs.size());
+    std::mutex log_mu;
+    auto runOne = [&](std::size_t i) {
+        const SystemConfig& cfg = configs[i];
+        {
+            std::lock_guard<std::mutex> lock(log_mu);
+            GGA_INFORM("running ", workload.name(), " on ", cfg.name());
+        }
+        sweep.results[i] =
+            ConfigResult{cfg, entry.run(graph, cfg, params, nullptr)};
+    };
+
+    const unsigned requested =
+        opts.threads == 0 ? defaultSweepThreads() : opts.threads;
+    const unsigned threads = static_cast<unsigned>(
+        std::min<std::size_t>(requested, configs.size()));
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            runOne(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            pool.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < sweep.results.size(); i = next.fetch_add(1))
+                    runOne(i);
+            });
+        }
+        for (std::thread& th : pool)
+            th.join();
     }
 
     const ConfigResult* best = &sweep.results.front();

@@ -37,14 +37,32 @@ struct SweepResult
     const ConfigResult* find(const SystemConfig& cfg) const;
 };
 
+/** Execution knobs for sweepWorkload. */
+struct SweepOptions
+{
+    /**
+     * Worker threads fanning out the per-configuration runs. 0 = the
+     * GGA_SWEEP_THREADS environment default (1 when unset). Each
+     * configuration's simulation is independent and deterministic, so
+     * the SweepResult — result ordering, BEST, and PRED — is
+     * bit-identical to the serial path at any thread count.
+     */
+    unsigned threads = 0;
+};
+
+/** GGA_SWEEP_THREADS environment value, or 1 when unset/invalid. */
+unsigned defaultSweepThreads();
+
 /**
  * Run @p workload under every configuration in @p configs (must include
  * the model's prediction and the baseline, or they are added), and fill
- * in BEST/PRED.
+ * in BEST/PRED. With opts.threads > 1 the per-config runs execute on a
+ * thread pool.
  */
 SweepResult sweepWorkload(const Workload& workload,
                           std::vector<SystemConfig> configs,
-                          const SimParams& params = SimParams{});
+                          const SimParams& params = SimParams{},
+                          const SweepOptions& opts = SweepOptions{});
 
 /** The baseline configuration a workload's Fig. 5 group normalizes to. */
 SystemConfig baselineConfig(const Workload& workload);

@@ -2,7 +2,11 @@
 
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 
+#include "api/graph_store.hpp"
 #include "support/log.hpp"
 
 namespace gga {
@@ -40,13 +44,19 @@ const CsrGraph&
 workloadGraph(GraphPreset p)
 {
     const double scale = evaluationScale();
-    if (scale >= 1.0)
-        return presetGraph(p);
-    static std::map<GraphPreset, CsrGraph> cache;
-    auto it = cache.find(p);
-    if (it == cache.end())
-        it = cache.emplace(p, buildPresetScaled(p, scale)).first;
-    return it->second;
+    // Thread-safe shim over the GraphStore. The store hands out
+    // shared_ptrs; pin them for the process lifetime so the returned
+    // reference stays valid even if the store later evicts the entry.
+    static std::mutex mu;
+    static std::map<std::pair<GraphPreset, double>,
+                    std::shared_ptr<const CsrGraph>>
+        pinned;
+    std::shared_ptr<const CsrGraph> g = GraphStore::instance().get(p, scale);
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = pinned[{p, scale}];
+    if (!slot)
+        slot = std::move(g);
+    return *slot;
 }
 
 } // namespace gga

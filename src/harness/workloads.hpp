@@ -45,7 +45,13 @@ std::vector<Workload> allWorkloads();
  */
 double evaluationScale();
 
-/** The (possibly scaled) input graph of a workload. */
+/**
+ * The (possibly scaled) input graph of a workload, resolved through the
+ * thread-safe GraphStore at the GGA_SCALE evaluation scale. The returned
+ * reference stays valid for the process lifetime. Callable from any
+ * thread; prefer GraphStore::get in new code for explicit scale control
+ * and eviction.
+ */
 const CsrGraph& workloadGraph(GraphPreset p);
 
 } // namespace gga

@@ -65,11 +65,11 @@ SystemConfig::name() const
     return std::string{propChar(prop), cohChar(coh), conChar(con)};
 }
 
-SystemConfig
-parseConfig(const std::string& name)
+std::optional<SystemConfig>
+tryParseConfig(std::string_view name)
 {
     if (name.size() != 3)
-        GGA_FATAL("bad config name: '", name, "'");
+        return std::nullopt;
     SystemConfig c;
     switch (name[0]) {
       case 'T':
@@ -82,7 +82,7 @@ parseConfig(const std::string& name)
         c.prop = UpdateProp::PushPull;
         break;
       default:
-        GGA_FATAL("bad update-propagation code in '", name, "'");
+        return std::nullopt;
     }
     switch (name[1]) {
       case 'G':
@@ -92,7 +92,7 @@ parseConfig(const std::string& name)
         c.coh = CoherenceKind::DeNovo;
         break;
       default:
-        GGA_FATAL("bad coherence code in '", name, "'");
+        return std::nullopt;
     }
     switch (name[2]) {
       case '0':
@@ -105,9 +105,19 @@ parseConfig(const std::string& name)
         c.con = ConsistencyKind::DrfRlx;
         break;
       default:
-        GGA_FATAL("bad consistency code in '", name, "'");
+        return std::nullopt;
     }
     return c;
+}
+
+SystemConfig
+parseConfig(const std::string& name)
+{
+    const std::optional<SystemConfig> c = tryParseConfig(name);
+    if (!c)
+        GGA_FATAL("bad config name: '", name,
+                  "', expected <prop:{T,S,D}><coh:{G,D}><con:{0,1,R}>");
+    return *c;
 }
 
 std::vector<SystemConfig>

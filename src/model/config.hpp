@@ -9,7 +9,9 @@
 #define GGA_MODEL_CONFIG_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/design_dims.hpp"
@@ -39,7 +41,13 @@ const std::string& propLabel(UpdateProp p);
 const std::string& cohLabel(CoherenceKind c);
 const std::string& conLabel(ConsistencyKind c);
 
-/** Parse "SGR"-style names; fatal on malformed input. */
+/**
+ * Parse "SGR"-style names: <prop:{T,S,D}><coh:{G,D}><con:{0,1,R}>.
+ * Returns nullopt on malformed input.
+ */
+std::optional<SystemConfig> tryParseConfig(std::string_view name);
+
+/** Parse "SGR"-style names; fatal wrapper over tryParseConfig. */
 SystemConfig parseConfig(const std::string& name);
 
 /**

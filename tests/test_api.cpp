@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the Plan/Session API layer: registry completeness, plan
+ * validation (no aborts on invalid input), old-vs-new output parity for
+ * every application, the thread-safe GraphStore, and serial-vs-parallel
+ * sweep equivalence.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/graph_store.hpp"
+#include "api/registry.hpp"
+#include "api/session.hpp"
+#include "apps/runner.hpp"
+#include "graph/generator.hpp"
+#include "harness/sweep.hpp"
+#include "harness/workloads.hpp"
+
+namespace gga {
+namespace {
+
+const CsrGraph&
+smallGraph()
+{
+    static const CsrGraph g = [] {
+        GenSpec spec;
+        spec.name = "api-small";
+        spec.numVertices = 600;
+        spec.numDirectedEdges = 3000;
+        spec.dist = DegreeDist::PowerLaw;
+        spec.p1 = 2.3;
+        spec.p2 = 1.5;
+        spec.maxDegree = 48;
+        spec.fracIntraBlock = 0.3;
+        spec.seed = 12345;
+        return generateGraph(spec);
+    }();
+    return g;
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(Registry, AllSixAppsRegistered)
+{
+    const AppRegistry& reg = AppRegistry::instance();
+    EXPECT_EQ(reg.size(), 6u);
+    for (AppId app : kAllApps) {
+        const AppRegistry::Entry* e = reg.find(app);
+        ASSERT_NE(e, nullptr) << appName(app);
+        EXPECT_EQ(e->id, app);
+        EXPECT_EQ(e->name, appName(app));
+        EXPECT_TRUE(e->run && e->runLegacy && e->validConfig);
+    }
+    EXPECT_EQ(reg.find(static_cast<AppId>(99)), nullptr);
+}
+
+TEST(Registry, PropertiesMatchAlgoProperties)
+{
+    for (AppId app : kAllApps) {
+        const AlgoProperties& expected = algoProperties(app);
+        const AlgoProperties& got =
+            AppRegistry::instance().at(app).properties;
+        EXPECT_EQ(got.traversal, expected.traversal) << appName(app);
+        EXPECT_EQ(got.control, expected.control) << appName(app);
+        EXPECT_EQ(got.information, expected.information) << appName(app);
+    }
+}
+
+TEST(Registry, ConfigPredicatesMatchTraversal)
+{
+    const AppRegistry& reg = AppRegistry::instance();
+    std::vector<SystemConfig> all = allConfigs(false);
+    for (const SystemConfig& c : allConfigs(true))
+        all.push_back(c);
+    for (AppId app : kAllApps) {
+        const bool dynamic =
+            algoProperties(app).traversal == TraversalKind::Dynamic;
+        EXPECT_EQ(reg.validConfigs(app, all).size(), dynamic ? 6u : 12u)
+            << appName(app);
+        EXPECT_EQ(reg.at(app).validConfig(parseConfig("SG1")), !dynamic);
+        EXPECT_EQ(reg.at(app).validConfig(parseConfig("DD1")), dynamic);
+    }
+}
+
+TEST(Registry, FindByName)
+{
+    const AppRegistry& reg = AppRegistry::instance();
+    ASSERT_NE(reg.findByName("SSSP"), nullptr);
+    EXPECT_EQ(reg.findByName("SSSP")->id, AppId::Sssp);
+    EXPECT_EQ(reg.findByName("nope"), nullptr);
+}
+
+// --- config parsing -------------------------------------------------------
+
+TEST(Config, TryParseRoundTripsAllValid)
+{
+    for (bool dyn : {false, true}) {
+        for (const SystemConfig& cfg : allConfigs(dyn)) {
+            const std::optional<SystemConfig> parsed =
+                tryParseConfig(cfg.name());
+            ASSERT_TRUE(parsed.has_value()) << cfg.name();
+            EXPECT_EQ(*parsed, cfg);
+        }
+    }
+}
+
+TEST(Config, TryParseRejectsMalformedWithoutAborting)
+{
+    EXPECT_FALSE(tryParseConfig(""));
+    EXPECT_FALSE(tryParseConfig("SG"));
+    EXPECT_FALSE(tryParseConfig("SGRX"));
+    EXPECT_FALSE(tryParseConfig("XGR"));
+    EXPECT_FALSE(tryParseConfig("SXR"));
+    EXPECT_FALSE(tryParseConfig("SGX"));
+    EXPECT_EQ(parseConfig("SGR"), *tryParseConfig("SGR"));
+}
+
+// --- plan validation ------------------------------------------------------
+
+TEST(RunPlan, ValidationRejectsIncompletePlans)
+{
+    Session session;
+    EXPECT_TRUE(session.validate(RunPlan{}).has_value());
+    EXPECT_TRUE(session.validate(RunPlan{}.app(AppId::Pr)).has_value());
+    EXPECT_TRUE(session
+                    .validate(RunPlan{}.app(AppId::Pr).graph(
+                        GraphPreset::Dct))
+                    .has_value());
+    EXPECT_FALSE(session
+                     .validate(RunPlan{}
+                                   .app(AppId::Pr)
+                                   .graph(GraphPreset::Dct)
+                                   .config("SG1"))
+                     .has_value());
+}
+
+TEST(RunPlan, ValidationRejectsMalformedConfigName)
+{
+    Session session;
+    const RunPlan plan =
+        RunPlan{}.app(AppId::Pr).graph(GraphPreset::Dct).config("QQQ");
+    const std::optional<std::string> why = session.validate(plan);
+    ASSERT_TRUE(why.has_value());
+    EXPECT_NE(why->find("QQQ"), std::string::npos);
+}
+
+TEST(RunPlan, ValidationRejectsInvalidAppConfigPair)
+{
+    Session session;
+    // PR is static: PushPull ("DD1") must be rejected, without aborting.
+    std::string error;
+    const RunPlan plan =
+        RunPlan{}.app(AppId::Pr).graph(GraphPreset::Dct).config("DD1");
+    EXPECT_TRUE(session.validate(plan).has_value());
+    EXPECT_FALSE(session.tryRun(plan, &error).has_value());
+    EXPECT_NE(error.find("PR"), std::string::npos);
+    // CC is dynamic: a Push config is likewise invalid.
+    EXPECT_TRUE(session
+                    .validate(RunPlan{}
+                                  .app(AppId::Cc)
+                                  .graph(GraphPreset::Dct)
+                                  .config("SG1"))
+                    .has_value());
+}
+
+// --- old-vs-new parity ----------------------------------------------------
+
+TEST(Parity, AllAppsMatchLegacyRunners)
+{
+    Session session;
+    const CsrGraph& g = smallGraph();
+    const SimParams params;
+
+    for (AppId app : kAllApps) {
+        const bool dynamic =
+            algoProperties(app).traversal == TraversalKind::Dynamic;
+        const SystemConfig cfg = parseConfig(dynamic ? "DD1" : "SG1");
+
+        std::vector<float> pr_ranks;
+        std::vector<std::uint32_t> sssp_dist, mis_state, colors, bc_level,
+            cc_labels;
+        std::vector<double> bc_delta, bc_sigma;
+        AppOutputs sinks;
+        sinks.prRanks = &pr_ranks;
+        sinks.ssspDist = &sssp_dist;
+        sinks.misState = &mis_state;
+        sinks.colors = &colors;
+        sinks.bcDelta = &bc_delta;
+        sinks.bcLevel = &bc_level;
+        sinks.bcSigma = &bc_sigma;
+        sinks.ccLabels = &cc_labels;
+        const RunResult old_run = runWorkload(app, g, cfg, params, &sinks);
+
+        const RunOutcome neu = session.run(
+            RunPlan{}.app(app).graph(g, "api-small").config(cfg).params(
+                params));
+
+        EXPECT_EQ(neu.result.cycles, old_run.cycles) << appName(app);
+        EXPECT_EQ(neu.result.kernels, old_run.kernels) << appName(app);
+        EXPECT_TRUE(neu.hasOutput()) << appName(app);
+        switch (app) {
+          case AppId::Pr:
+            ASSERT_NE(neu.pr(), nullptr);
+            EXPECT_EQ(neu.pr()->ranks, pr_ranks);
+            break;
+          case AppId::Sssp:
+            ASSERT_NE(neu.sssp(), nullptr);
+            EXPECT_EQ(neu.sssp()->dist, sssp_dist);
+            break;
+          case AppId::Mis:
+            ASSERT_NE(neu.mis(), nullptr);
+            EXPECT_EQ(neu.mis()->state, mis_state);
+            break;
+          case AppId::Clr:
+            ASSERT_NE(neu.clr(), nullptr);
+            EXPECT_EQ(neu.clr()->colors, colors);
+            break;
+          case AppId::Bc:
+            ASSERT_NE(neu.bc(), nullptr);
+            EXPECT_EQ(neu.bc()->delta, bc_delta);
+            EXPECT_EQ(neu.bc()->level, bc_level);
+            EXPECT_EQ(neu.bc()->sigma, bc_sigma);
+            break;
+          case AppId::Cc:
+            ASSERT_NE(neu.cc(), nullptr);
+            EXPECT_EQ(neu.cc()->labels, cc_labels);
+            break;
+        }
+    }
+}
+
+TEST(Parity, OutputsCanBeDisabled)
+{
+    Session session;
+    const RunOutcome out = session.run(RunPlan{}
+                                           .app(AppId::Cc)
+                                           .graph(smallGraph(), "api-small")
+                                           .config("DG1")
+                                           .collectOutputs(false));
+    EXPECT_FALSE(out.hasOutput());
+    EXPECT_EQ(out.cc(), nullptr);
+    EXPECT_GT(out.result.cycles, 0u);
+}
+
+// --- graph store ----------------------------------------------------------
+
+TEST(GraphStoreTest, ConcurrentGetSharesOneBuild)
+{
+    GraphStore store;
+    GraphStore::GraphPtr a, b;
+    std::thread t1([&] { a = store.get(GraphPreset::Dct, 0.05); });
+    std::thread t2([&] { b = store.get(GraphPreset::Dct, 0.05); });
+    t1.join();
+    t2.join();
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get()); // one deterministic build, shared
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_GE(a->numVertices(), 64u);
+}
+
+TEST(GraphStoreTest, KeysOnPresetAndScale)
+{
+    GraphStore store;
+    const auto small = store.get(GraphPreset::Dct, 0.05);
+    const auto other_scale = store.get(GraphPreset::Dct, 0.1);
+    const auto other_preset = store.get(GraphPreset::Raj, 0.05);
+    EXPECT_NE(small.get(), other_scale.get());
+    EXPECT_NE(small.get(), other_preset.get());
+    EXPECT_EQ(store.size(), 3u);
+    // Same key twice: cached.
+    EXPECT_EQ(store.get(GraphPreset::Dct, 0.05).get(), small.get());
+}
+
+TEST(GraphStoreTest, EvictionKeepsOutstandingHandlesValid)
+{
+    GraphStore store;
+    const auto g = store.get(GraphPreset::Dct, 0.05);
+    const VertexId n = g->numVertices();
+    EXPECT_TRUE(store.evict(GraphPreset::Dct, 0.05));
+    EXPECT_FALSE(store.evict(GraphPreset::Dct, 0.05));
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(g->numVertices(), n); // old handle still usable
+    const auto rebuilt = store.get(GraphPreset::Dct, 0.05);
+    EXPECT_EQ(rebuilt->numVertices(), n); // deterministic rebuild
+}
+
+// --- parallel sweep -------------------------------------------------------
+
+TEST(ParallelSweep, BitIdenticalToSerial)
+{
+    const Workload wl{AppId::Mis, GraphPreset::Raj};
+    const SimParams params;
+    const SweepResult serial =
+        sweepWorkload(wl, figureConfigs(false), params, SweepOptions{1});
+    const SweepResult parallel =
+        sweepWorkload(wl, figureConfigs(false), params, SweepOptions{3});
+
+    ASSERT_EQ(parallel.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        EXPECT_EQ(parallel.results[i].config, serial.results[i].config);
+        EXPECT_EQ(parallel.results[i].run.cycles,
+                  serial.results[i].run.cycles);
+        EXPECT_EQ(parallel.results[i].run.kernels,
+                  serial.results[i].run.kernels);
+        EXPECT_EQ(parallel.results[i].run.events,
+                  serial.results[i].run.events);
+    }
+    EXPECT_EQ(parallel.best, serial.best);
+    EXPECT_EQ(parallel.predicted, serial.predicted);
+    EXPECT_EQ(parallel.bestCycles, serial.bestCycles);
+    EXPECT_EQ(parallel.predictedCycles, serial.predictedCycles);
+    EXPECT_EQ(parallel.baselineCycles, serial.baselineCycles);
+}
+
+TEST(ParallelSweep, DynamicWorkloadAcrossThreads)
+{
+    // CC exercises the PushPull body; two threads over its 4 figure
+    // configs double as a concurrent-simulator smoke test.
+    const Workload wl{AppId::Cc, GraphPreset::Raj};
+    const SweepResult sweep = sweepWorkload(
+        wl, figureConfigs(true), SimParams{}, SweepOptions{2});
+    ASSERT_GE(sweep.results.size(), 4u);
+    for (const ConfigResult& r : sweep.results)
+        EXPECT_GE(r.run.cycles, sweep.bestCycles);
+    EXPECT_NE(sweep.find(sweep.predicted), nullptr);
+}
+
+} // namespace
+} // namespace gga
