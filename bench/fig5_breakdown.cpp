@@ -9,12 +9,16 @@
  * time of the empirical BEST and the model-PREDicted configurations
  * across its six inputs.
  *
+ * All 36 sweeps are submitted to one shared Session executor up front, so
+ * the fan-out covers workloads *and* configurations; results are gathered
+ * in paper order and are bit-identical to a serial run.
+ *
  * Usage: fig5_breakdown [--csv] [--full]
  *   --full sweeps all 12 (6 for CC) configurations instead of the figure
  *   subset when searching for BEST.
  * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs;
- * GGA_SWEEP_THREADS > 1 fans each workload's per-config runs across a
- * thread pool (results are bit-identical to the serial path).
+ * GGA_SESSION_THREADS > 1 widens the executor (GGA_SWEEP_THREADS is the
+ * deprecated alias).
  */
 
 #include <cstring>
@@ -39,7 +43,22 @@ main(int argc, char** argv)
             full = true;
     }
     gga::setVerbose(true);
-    const gga::SweepOptions sweep_opts{gga::defaultSweepThreads()};
+
+    gga::SessionOptions session_opts;
+    session_opts.scale = gga::evaluationScale(); // sweeps honor GGA_SCALE
+    session_opts.verboseRuns = true;
+    gga::Session session(session_opts);
+
+    // Phase 1: enqueue every workload's sweep on the shared executor.
+    std::vector<gga::PendingSweep> pending;
+    for (gga::AppId app : gga::kAllApps) {
+        for (gga::GraphPreset g : gga::kAllGraphPresets) {
+            const gga::Workload wl{app, g};
+            const auto configs = full ? gga::allConfigs(wl.dynamic())
+                                      : gga::figureConfigs(wl.dynamic());
+            pending.push_back(gga::submitSweep(session, wl, configs));
+        }
+    }
 
     gga::TextTable table;
     table.setHeader({"Workload", "Config", "Norm", "Busy", "Comp", "Data",
@@ -48,16 +67,15 @@ main(int argc, char** argv)
     gga::TextTable summary;
     summary.setHeader({"App", "GeomeanBEST", "GeomeanPRED", "PredHitRate"});
 
+    // Phase 2: gather in submission (= paper) order.
+    std::size_t next = 0;
     for (gga::AppId app : gga::kAllApps) {
         std::vector<double> best_norm;
         std::vector<double> pred_norm;
         std::uint32_t exact = 0;
         for (gga::GraphPreset g : gga::kAllGraphPresets) {
-            const gga::Workload wl{app, g};
-            const auto configs = full ? gga::allConfigs(wl.dynamic())
-                                      : gga::figureConfigs(wl.dynamic());
-            const gga::SweepResult sweep = gga::sweepWorkload(
-                wl, configs, gga::SimParams{}, sweep_opts);
+            (void)g;
+            const gga::SweepResult sweep = pending[next++].collect();
             gga::addSweepRows(table, sweep);
             table.addSeparator();
             const double base = static_cast<double>(sweep.baselineCycles);
@@ -74,8 +92,8 @@ main(int argc, char** argv)
 
     std::cout << "Figure 5: normalized execution-time breakdown per "
                  "workload\n(baseline: TG0 for static apps, DG1 for CC; "
-                 "scale=" << gga::evaluationScale()
-              << ", sweep threads=" << gga::defaultSweepThreads()
+                 "scale=" << session.options().scale
+              << ", session threads=" << session.threads()
               << ")\n\n";
     std::cout << (csv ? table.toCsv() : table.toText());
     std::cout << "\nPer-app geomean of BEST and PRED normalized times:\n";

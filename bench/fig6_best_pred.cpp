@@ -8,10 +8,13 @@
  * The paper finds 12 such workloads ({MIS,PR,CLR}-OLS, {BC,MIS,PR}-RAJ,
  * CC-*) with 7%-87% (avg 44%) reduction over SGR.
  *
+ * All 36 sweeps run through one shared Session executor — submitted up
+ * front, gathered in paper order, bit-identical to a serial run.
+ *
  * Usage: fig6_best_pred [--csv]
  * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs;
- * GGA_SWEEP_THREADS > 1 fans each workload's per-config runs across a
- * thread pool (results are bit-identical to the serial path).
+ * GGA_SESSION_THREADS > 1 widens the executor (GGA_SWEEP_THREADS is the
+ * deprecated alias).
  */
 
 #include <cstring>
@@ -30,18 +33,27 @@ main(int argc, char** argv)
     const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
     gga::setVerbose(true);
 
+    gga::SessionOptions session_opts;
+    session_opts.scale = gga::evaluationScale(); // sweeps honor GGA_SCALE
+    session_opts.verboseRuns = true;
+    gga::Session session(session_opts);
+
+    std::vector<gga::PendingSweep> pending;
+    for (const gga::Workload& wl : gga::allWorkloads()) {
+        pending.push_back(gga::submitSweep(
+            session, wl, gga::figureConfigs(wl.dynamic())));
+    }
+
     gga::TextTable table;
     table.setHeader({"Workload", "Config", "NormToSGR", "Busy", "Comp",
                      "Data", "Sync", "Idle", "Reduction"});
 
     std::vector<double> reductions;
-    for (const gga::Workload& wl : gga::allWorkloads()) {
+    for (gga::PendingSweep& job : pending) {
+        const gga::Workload wl = job.workload();
         const gga::SystemConfig sgr =
             gga::parseConfig(wl.dynamic() ? "DGR" : "SGR");
-        const gga::SweepResult sweep =
-            gga::sweepWorkload(wl, gga::figureConfigs(wl.dynamic()),
-                               gga::SimParams{},
-                               gga::SweepOptions{gga::defaultSweepThreads()});
+        const gga::SweepResult sweep = job.collect();
         const gga::ConfigResult* sgr_run = sweep.find(sgr);
         if (sweep.best == sgr)
             continue; // SGR is optimal here; not a Figure 6 case
@@ -64,8 +76,8 @@ main(int argc, char** argv)
     }
 
     std::cout << "Figure 6: workloads where SGR (DGR for CC) is not "
-                 "best\n(scale=" << gga::evaluationScale()
-              << ", sweep threads=" << gga::defaultSweepThreads()
+                 "best\n(scale=" << session.options().scale
+              << ", session threads=" << session.threads()
               << ")\n\n";
     std::cout << (csv ? table.toCsv() : table.toText());
     std::cout << "\nCases: " << reductions.size()

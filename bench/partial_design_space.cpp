@@ -10,15 +10,19 @@
  * and highlights MIS-RAJ: push under DRF1-only can run far worse than
  * pull (up to 80%).
  *
+ * Both sweeps of every workload (full space and restricted) are submitted
+ * to one shared Session executor up front, then gathered in paper order.
+ *
  * Usage: partial_design_space [--csv]
  * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs;
- * GGA_SWEEP_THREADS > 1 fans each workload's per-config runs across a
- * thread pool (results are bit-identical to the serial path).
+ * GGA_SESSION_THREADS > 1 widens the executor (GGA_SWEEP_THREADS is the
+ * deprecated alias).
  */
 
 #include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "api/graph_store.hpp"
 #include "harness/sweep.hpp"
@@ -43,6 +47,26 @@ main(int argc, char** argv)
     gga::DesignSpaceRestriction restriction;
     restriction.allowDrfRlx = false;
 
+    gga::SessionOptions session_opts;
+    session_opts.scale = gga::evaluationScale(); // sweeps honor GGA_SCALE
+    session_opts.verboseRuns = true;
+    gga::Session session(session_opts);
+
+    // Phase 1: both sweeps of every workload onto the shared executor.
+    struct Job
+    {
+        gga::PendingSweep full;
+        gga::PendingSweep part;
+    };
+    std::vector<Job> jobs;
+    for (const gga::Workload& wl : gga::allWorkloads()) {
+        const auto cfgs = wl.dynamic() ? dyn_cfgs : static_cfgs;
+        jobs.push_back(
+            {gga::submitSweep(session, wl,
+                              gga::figureConfigs(wl.dynamic())),
+             gga::submitSweep(session, wl, cfgs)});
+    }
+
     gga::TextTable table;
     table.setHeader({"Workload", "FullBest", "NoRlxBest", "PartialPred",
                      "PredHit", "Flip", "SG1/TG0"});
@@ -50,16 +74,12 @@ main(int argc, char** argv)
     std::uint32_t flips = 0;
     std::uint32_t pred_hits = 0;
     std::uint32_t rows = 0;
-    for (const gga::Workload& wl : gga::allWorkloads()) {
-        const auto cfgs = wl.dynamic() ? dyn_cfgs : static_cfgs;
-        const gga::SweepOptions sweep_opts{gga::defaultSweepThreads()};
+    for (Job& job : jobs) {
+        const gga::Workload wl = job.full.workload();
         // Full-space sweep for reference best.
-        gga::SweepResult full = gga::sweepWorkload(
-            wl, gga::figureConfigs(wl.dynamic()), gga::SimParams{},
-            sweep_opts);
+        const gga::SweepResult full = job.full.collect();
         // Restricted sweep.
-        gga::SweepResult part =
-            gga::sweepWorkload(wl, cfgs, gga::SimParams{}, sweep_opts);
+        const gga::SweepResult part = job.part.collect();
         gga::SystemConfig no_rlx_best = part.results.front().config;
         gga::Cycles best_cycles = part.results.front().run.cycles;
         for (const gga::ConfigResult& r : part.results) {
@@ -76,7 +96,7 @@ main(int argc, char** argv)
         gga::GpuGeometry geom;
         const gga::TaxonomyProfile profile = gga::profileGraph(
             *gga::GraphStore::instance().get(wl.graph,
-                                             gga::evaluationScale()),
+                                             session.options().scale),
             geom);
         const gga::SystemConfig pred = gga::predictPartialDesignSpace(
             profile, gga::algoProperties(wl.app), restriction);
@@ -106,8 +126,8 @@ main(int argc, char** argv)
 
     std::cout << "Partial design space (no DRFrlx): best configuration "
                  "and partial-model prediction\n(scale="
-              << gga::evaluationScale()
-              << ", sweep threads=" << gga::defaultSweepThreads()
+              << session.options().scale
+              << ", session threads=" << session.threads()
               << ")\n\n";
     std::cout << (csv ? table.toCsv() : table.toText());
     std::cout << "\nPush-to-pull flips without DRFrlx: " << flips

@@ -92,10 +92,10 @@ main(int argc, char** argv)
     const gga::Workload wl{entry->id, preset};
 
     // Pre-build the graph so timings measure simulation only.
-    const gga::CsrGraph& graph = gga::workloadGraph(preset);
+    const auto graph = session.graphs().get(preset, gga::evaluationScale());
     std::cout << "sweep scaling: " << wl.name() << " x " << configs.size()
-              << " configs (|V|=" << graph.numVertices()
-              << ", |E|=" << graph.numEdges() << ", host cores="
+              << " configs (|V|=" << graph->numVertices()
+              << ", |E|=" << graph->numEdges() << ", host cores="
               << std::thread::hardware_concurrency() << ")\n\n";
 
     gga::SweepResult serial;

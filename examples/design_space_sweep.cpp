@@ -6,13 +6,21 @@
  * baseline (TG0, or DG1 for CC) — one workload's worth of the paper's
  * Figure 5.
  *
- * Usage: example_design_space_sweep [APP] [GRAPH] [scale]
- *   APP   in {PR, SSSP, MIS, CLR, BC, CC}      (default PR)
- *   GRAPH in {AMZ, DCT, EML, OLS, RAJ, WNG}    (default RAJ)
- *   scale in (0, 1]: graph size multiplier      (default 0.25)
+ * The whole space is submitted as one batch to the session executor
+ * (Session::submitAll) and gathered in order, so the table is identical
+ * to a serial run() loop at any thread count.
+ *
+ * Usage: example_design_space_sweep [APP] [GRAPH] [scale] [threads]
+ *   APP     in {PR, SSSP, MIS, CLR, BC, CC}    (default PR)
+ *   GRAPH   in {AMZ, DCT, EML, OLS, RAJ, WNG}  (default RAJ)
+ *   scale   in (0, 1]: graph size multiplier    (default 0.25)
+ *   threads: executor width                     (default
+ *            GGA_SESSION_THREADS, then 1)
  */
 
+#include <algorithm>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -39,7 +47,11 @@ int
 main(int argc, char** argv)
 {
     gga::setVerbose(false);
-    gga::Session session;
+    gga::SessionOptions opts;
+    if (argc > 4)
+        opts.threads = static_cast<unsigned>(
+            std::clamp<long>(std::atol(argv[4]), 1, 256));
+    gga::Session session(opts);
     const std::string app_name = argc > 1 ? argv[1] : "PR";
     const gga::AppRegistry::Entry* entry =
         session.registry().findByName(app_name);
@@ -63,18 +75,26 @@ main(int argc, char** argv)
     const auto configs =
         session.registry().validConfigs(entry->id, candidates);
 
-    gga::TextTable table;
-    table.setHeader({"Config", "Cycles", "Norm", "Busy", "Comp", "Data",
-                     "Sync", "Idle", "Kernels"});
-    double baseline = 0.0;
+    // One plan per design point, all in flight on the session executor.
+    std::vector<gga::RunPlan> plans;
     for (const gga::SystemConfig& cfg : configs) {
-        const gga::RunOutcome out =
-            session.run(gga::RunPlan{}
+        plans.push_back(gga::RunPlan{}
                             .app(entry->id)
                             .graph(preset)
                             .scale(scale)
                             .config(cfg)
                             .collectOutputs(false));
+    }
+    std::vector<std::future<gga::RunOutcome>> futures =
+        session.submitAll(std::move(plans));
+
+    gga::TextTable table;
+    table.setHeader({"Config", "Cycles", "Norm", "Busy", "Comp", "Data",
+                     "Sync", "Idle", "Kernels"});
+    double baseline = 0.0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const gga::SystemConfig& cfg = configs[i];
+        const gga::RunOutcome out = futures[i].get();
         const gga::RunResult& r = out.result;
         if (baseline == 0.0)
             baseline = static_cast<double>(r.cycles);

@@ -1,8 +1,12 @@
 #include "api/graph_store.hpp"
 
+#include <cmath>
+
 #include "support/log.hpp"
 
 namespace gga {
+
+constexpr std::int64_t kScaleUnits = 1000000; // 1.0 in micro-units
 
 GraphStore&
 GraphStore::instance()
@@ -11,12 +15,20 @@ GraphStore::instance()
     return store;
 }
 
+std::int64_t
+GraphStore::quantizeScale(double scale)
+{
+    return std::llround(scale * static_cast<double>(kScaleUnits));
+}
+
 GraphStore::GraphPtr
 GraphStore::get(GraphPreset p, double scale)
 {
     GGA_ASSERT(scale > 0.0 && scale <= 1.0,
                "GraphStore scale must be in (0, 1], got ", scale);
-    const Key key{p, scale};
+    const Key key{p, quantizeScale(scale)};
+    GGA_ASSERT(key.second > 0, "scale ", scale, " quantizes to zero; "
+               "the minimum representable scale is 5e-7");
     std::promise<GraphPtr> promise;
     std::shared_future<GraphPtr> future;
     bool builder = false;
@@ -36,14 +48,17 @@ GraphStore::get(GraphPreset p, double scale)
         // waiters for this key block on the shared future instead.
         try {
             GraphPtr built;
-            if (scale >= 1.0) {
+            if (key.second >= kScaleUnits) {
                 // Alias the process-wide presetGraph memo so the
                 // full-size input exists once no matter the access path;
                 // evicting such an entry only drops the alias.
                 built = GraphPtr(&presetGraph(p), [](const CsrGraph*) {});
             } else {
-                built = std::make_shared<const CsrGraph>(
-                    buildPresetScaled(p, scale));
+                // Build at the quantized scale, not the raw argument, so
+                // every double mapping to this key yields the same graph.
+                built = std::make_shared<const CsrGraph>(buildPresetScaled(
+                    p, static_cast<double>(key.second) /
+                           static_cast<double>(kScaleUnits)));
             }
             promise.set_value(std::move(built));
         } catch (...) {
@@ -64,7 +79,7 @@ bool
 GraphStore::evict(GraphPreset p, double scale)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return cache_.erase(Key{p, scale}) > 0;
+    return cache_.erase(Key{p, quantizeScale(scale)}) > 0;
 }
 
 void

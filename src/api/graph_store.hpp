@@ -14,6 +14,7 @@
 #ifndef GGA_API_GRAPH_STORE_HPP
 #define GGA_API_GRAPH_STORE_HPP
 
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
@@ -60,8 +61,18 @@ class GraphStore
     /** Number of cached (or in-flight) entries. */
     std::size_t size() const;
 
+    /**
+     * The canonical cache key for @p scale: the value rounded to 1e-6.
+     * Raw doubles make terrible keys — 0.3 from the environment and a
+     * computed 0.1 + 0.2 differ in the last bits and would cache two
+     * copies of the same graph. Builds use the quantized scale too, so
+     * equal keys always mean bit-identical graphs.
+     */
+    static std::int64_t quantizeScale(double scale);
+
   private:
-    using Key = std::pair<GraphPreset, double>;
+    /** (preset, quantizeScale(scale)); micro-units, 1000000 = full size. */
+    using Key = std::pair<GraphPreset, std::int64_t>;
 
     mutable std::mutex mu_;
     std::map<Key, std::shared_future<GraphPtr>> cache_;

@@ -20,30 +20,35 @@ namespace gga {
 /** PageRank: final rank per vertex (sums to ~1). */
 struct PrOutput
 {
+    bool operator==(const PrOutput&) const = default;
     std::vector<float> ranks;
 };
 
 /** SSSP: weighted distance from vertex 0 (UINT32_MAX = unreachable). */
 struct SsspOutput
 {
+    bool operator==(const SsspOutput&) const = default;
     std::vector<std::uint32_t> dist;
 };
 
 /** Maximal independent set: per-vertex state (1 in set, 2 out). */
 struct MisOutput
 {
+    bool operator==(const MisOutput&) const = default;
     std::vector<std::uint32_t> state;
 };
 
 /** Graph coloring: color index per vertex. */
 struct ClrOutput
 {
+    bool operator==(const ClrOutput&) const = default;
     std::vector<std::uint32_t> colors;
 };
 
 /** Betweenness centrality pieces for source 0. */
 struct BcOutput
 {
+    bool operator==(const BcOutput&) const = default;
     std::vector<double> delta;        ///< dependency accumulation
     std::vector<std::uint32_t> level; ///< BFS level (UINT32_MAX unreachable)
     std::vector<double> sigma;        ///< shortest-path counts
@@ -52,6 +57,7 @@ struct BcOutput
 /** Connected components: representative label per vertex. */
 struct CcOutput
 {
+    bool operator==(const CcOutput&) const = default;
     std::vector<std::uint32_t> labels;
 };
 

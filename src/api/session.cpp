@@ -1,8 +1,35 @@
 #include "api/session.hpp"
 
+#include <cstdlib>
+#include <utility>
+
 #include "support/log.hpp"
 
 namespace gga {
+
+unsigned
+defaultSessionThreads()
+{
+    static const unsigned threads = [] {
+        const char* env = std::getenv("GGA_SESSION_THREADS");
+        if (!env) {
+            env = std::getenv("GGA_SWEEP_THREADS");
+            if (!env)
+                return 1u;
+            GGA_WARN("GGA_SWEEP_THREADS is deprecated; set "
+                     "GGA_SESSION_THREADS (or SessionOptions::threads) "
+                     "instead");
+        }
+        const long t = std::atol(env);
+        if (t < 1) {
+            GGA_WARN("session thread count '", env,
+                     "' is invalid; using 1");
+            return 1u;
+        }
+        return static_cast<unsigned>(t);
+    }();
+    return threads;
+}
 
 RunPlan&
 RunPlan::app(AppId a)
@@ -153,7 +180,9 @@ Session::tryRun(const RunPlan& plan, std::string* error)
     out.graphName = std::move(graph_name);
     out.config = *plan.plannedConfig();
     const SimParams params = plan.plannedParams().value_or(opts_.params);
-    const bool collect = plan.outputsRequested() && opts_.collectOutputs;
+    // An explicit per-plan collectOutputs wins over the session default.
+    const bool collect =
+        plan.outputsRequested().value_or(opts_.collectOutputs);
     if (opts_.verboseRuns)
         GGA_INFORM("session: running ", out.appName, "-", out.graphName,
                    " on ", out.config.name());
@@ -170,6 +199,49 @@ Session::run(const RunPlan& plan)
     if (!out)
         GGA_FATAL("invalid run plan: ", error);
     return std::move(*out);
+}
+
+unsigned
+Session::threads() const
+{
+    // Once the executor exists, report its real width (the TaskPool may
+    // clamp or fall short of the request); before that, the request.
+    const unsigned actual = actualThreads_.load(std::memory_order_acquire);
+    if (actual != 0)
+        return actual;
+    return opts_.threads == 0 ? defaultSessionThreads() : opts_.threads;
+}
+
+TaskPool&
+Session::executor()
+{
+    std::call_once(poolOnce_, [this] {
+        pool_ = std::make_unique<TaskPool>(threads());
+        actualThreads_.store(pool_->width(), std::memory_order_release);
+    });
+    return *pool_;
+}
+
+std::future<RunOutcome>
+Session::submit(RunPlan plan)
+{
+    return executor().submit([this, plan = std::move(plan)]() -> RunOutcome {
+        std::string error;
+        std::optional<RunOutcome> out = tryRun(plan, &error);
+        if (!out)
+            throw PlanError(error);
+        return std::move(*out);
+    });
+}
+
+std::vector<std::future<RunOutcome>>
+Session::submitAll(std::vector<RunPlan> plans)
+{
+    std::vector<std::future<RunOutcome>> futures;
+    futures.reserve(plans.size());
+    for (RunPlan& plan : plans)
+        futures.push_back(submit(std::move(plan)));
+    return futures;
 }
 
 } // namespace gga

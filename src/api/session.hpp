@@ -20,14 +20,20 @@
 #ifndef GGA_API_SESSION_HPP
 #define GGA_API_SESSION_HPP
 
+#include <atomic>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/graph_store.hpp"
 #include "api/outputs.hpp"
 #include "api/registry.hpp"
+#include "api/task_pool.hpp"
 #include "graph/presets.hpp"
 #include "model/config.hpp"
 #include "sim/params.hpp"
@@ -72,7 +78,11 @@ class RunPlan
     /** Hardware-parameter override; defaults to the session's params. */
     RunPlan& params(const SimParams& p);
 
-    /** Collect the app's functional output (default on). */
+    /**
+     * Collect the app's functional output. An explicit setting — true or
+     * false — overrides the session's SessionOptions::collectOutputs
+     * default; a plan that never calls this inherits it.
+     */
     RunPlan& collectOutputs(bool on = true);
 
     // --- introspection (used by Session and tests) ---
@@ -87,7 +97,8 @@ class RunPlan
     std::optional<SystemConfig> plannedConfig() const { return config_; }
     const std::string& badConfigName() const { return badConfigName_; }
     std::optional<SimParams> plannedParams() const { return params_; }
-    bool outputsRequested() const { return collectOutputs_; }
+    /** nullopt = inherit the session default. */
+    std::optional<bool> outputsRequested() const { return collectOutputs_; }
 
   private:
     std::optional<AppId> app_;
@@ -98,7 +109,7 @@ class RunPlan
     std::optional<SystemConfig> config_;
     std::string badConfigName_;
     std::optional<SimParams> params_;
-    bool collectOutputs_ = true;
+    std::optional<bool> collectOutputs_;
 };
 
 /** Everything one run produced: identity, timing, typed outputs. */
@@ -138,12 +149,37 @@ struct SessionOptions
     SimParams params;      ///< hardware parameters for plans without .params()
     bool collectOutputs = true;
     bool verboseRuns = false; ///< GGA_INFORM one line per run
+    /**
+     * Worker threads of the session's executor (Session::submit). 0 = the
+     * GGA_SESSION_THREADS environment default — see
+     * defaultSessionThreads(). The executor starts lazily on the first
+     * submit, so purely synchronous sessions never spawn threads.
+     */
+    unsigned threads = 0;
+};
+
+/**
+ * GGA_SESSION_THREADS environment value; falls back to the deprecated
+ * GGA_SWEEP_THREADS (with a one-time warning) and then to 1.
+ */
+unsigned defaultSessionThreads();
+
+/** What Session::submit's future throws for a plan that fails validate(). */
+class PlanError : public std::runtime_error
+{
+  public:
+    explicit PlanError(const std::string& why)
+        : std::runtime_error("invalid run plan: " + why)
+    {
+    }
 };
 
 /**
  * Facade over the registry, the graph store, and the simulator: validates
- * RunPlans and executes them. Stateless between runs apart from the
- * shared GraphStore; one Session may serve many threads concurrently.
+ * RunPlans and executes them, synchronously (run/tryRun) or on the
+ * session's fixed-size executor (submit/submitAll). Stateless between
+ * runs apart from the shared GraphStore and the lazily-started TaskPool;
+ * one Session may serve many threads concurrently.
  */
 class Session
 {
@@ -170,8 +206,37 @@ class Session
     /** Run @p plan; fatal on an invalid plan. */
     RunOutcome run(const RunPlan& plan);
 
+    /**
+     * Execute @p plan asynchronously on the session executor. An invalid
+     * plan is reported as a PlanError thrown from future::get() — never a
+     * fatal — so one bad plan in a batch doesn't take the process down.
+     * The Session must outlive the returned future's completion (the
+     * destructor drains the executor, so outstanding futures always
+     * complete).
+     */
+    std::future<RunOutcome> submit(RunPlan plan);
+
+    /**
+     * Submit a batch; futures are returned in plan order, so gathering
+     * them in order yields results bit-identical to a serial run() loop.
+     */
+    std::vector<std::future<RunOutcome>> submitAll(std::vector<RunPlan> plans);
+
+    /**
+     * Executor width: the running TaskPool's actual width once the
+     * executor has started, else the resolved request (opts().threads or
+     * the environment default).
+     */
+    unsigned threads() const;
+
+    /** The shared executor, started on first use. */
+    TaskPool& executor();
+
   private:
     SessionOptions opts_;
+    std::once_flag poolOnce_;
+    std::unique_ptr<TaskPool> pool_;
+    std::atomic<unsigned> actualThreads_{0}; ///< pool width once started
 };
 
 } // namespace gga

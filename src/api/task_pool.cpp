@@ -1,0 +1,77 @@
+#include "api/task_pool.hpp"
+
+#include <algorithm>
+#include <system_error>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+TaskPool::TaskPool(unsigned threads)
+{
+    // Hard cap: every task is a whole-workload simulation, so widths
+    // beyond this never help, and an unclamped environment value
+    // (GGA_SESSION_THREADS=1000000) must not spawn until exhaustion.
+    constexpr unsigned kMaxThreads = 512;
+    const unsigned width = std::clamp(threads, 1u, kMaxThreads);
+    if (threads > kMaxThreads)
+        GGA_WARN("TaskPool width ", threads, " clamped to ", kMaxThreads);
+    workers_.reserve(width);
+    try {
+        for (unsigned t = 0; t < width; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (const std::system_error&) {
+        // Out of thread resources: run with what we got rather than
+        // dying with joinable threads in a half-built vector. With zero
+        // workers there is no pool to salvage — propagate (members are
+        // cleaned up normally; no threads exist to join).
+        if (workers_.empty())
+            throw;
+        GGA_WARN("TaskPool spawned ", workers_.size(), " of ", width,
+                 " requested workers; continuing at reduced width");
+    }
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+TaskPool::post(std::function<void()> job)
+{
+    GGA_ASSERT(job, "TaskPool::post requires a callable job");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        GGA_ASSERT(!stopping_, "TaskPool::post after shutdown began");
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+TaskPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping, queue drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // A submit() job never throws (packaged_task captures); a raw
+        // post() job that throws would terminate, same as std::thread.
+        job();
+    }
+}
+
+} // namespace gga

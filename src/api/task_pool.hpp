@@ -1,0 +1,85 @@
+/**
+ * @file
+ * TaskPool: the fixed-size executor behind Session::submit.
+ *
+ * A deliberately simple pool — one shared FIFO queue, N worker threads,
+ * no work stealing — because every task it carries (a whole-workload
+ * simulation) runs for milliseconds to minutes, so queue contention is
+ * negligible and FIFO order keeps scheduling easy to reason about.
+ * Submission order is preserved per queue; results are deterministic
+ * because each task slot is independent of scheduling.
+ *
+ * Destruction drains the queue: tasks already posted run to completion
+ * before the workers join, so futures handed out by submit() never
+ * become broken promises.
+ */
+
+#ifndef GGA_API_TASK_POOL_HPP
+#define GGA_API_TASK_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gga {
+
+class TaskPool
+{
+  public:
+    /**
+     * Start @p threads workers, clamped to [1, 512] (with a warning
+     * above the cap). If the system runs out of thread resources
+     * mid-spawn the pool continues at the width it reached; only a pool
+     * that cannot spawn a single worker throws.
+     */
+    explicit TaskPool(unsigned threads);
+
+    /** Drains every posted task, then joins the workers. */
+    ~TaskPool();
+
+    TaskPool(const TaskPool&) = delete;
+    TaskPool& operator=(const TaskPool&) = delete;
+
+    /** Number of worker threads. */
+    unsigned width() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue fire-and-forget work. */
+    void post(std::function<void()> job);
+
+    /**
+     * Enqueue @p fn and get a future for its result. An exception thrown
+     * by @p fn is captured and rethrown from future::get().
+     */
+    template <typename Fn>
+    auto
+    submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>>
+    {
+        using R = std::invoke_result_t<Fn&>;
+        // shared_ptr because std::function requires copyable callables
+        // and packaged_task is move-only.
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> result = task->get_future();
+        post([task] { (*task)(); });
+        return result;
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace gga
+
+#endif // GGA_API_TASK_POOL_HPP

@@ -39,14 +39,18 @@ CsrGraph
 GraphBuilder::build(bool with_weights) const
 {
     // Symmetrize: every raw edge contributes both directions; self-loops
-    // are dropped. Dedup happens after sorting per row.
+    // are dropped (or kept as a single u->u edge). Dedup happens after
+    // sorting per row.
     std::vector<std::uint64_t> pairs;
     pairs.reserve(srcs_.size() * 2);
     for (std::size_t i = 0; i < srcs_.size(); ++i) {
         const VertexId u = srcs_[i];
         const VertexId v = dsts_[i];
-        if (u == v)
+        if (u == v) {
+            if (keepSelfLoops_)
+                pairs.push_back((static_cast<std::uint64_t>(u) << 32) | v);
             continue;
+        }
         pairs.push_back((static_cast<std::uint64_t>(u) << 32) | v);
         pairs.push_back((static_cast<std::uint64_t>(v) << 32) | u);
     }

@@ -37,8 +37,16 @@ class GraphBuilder
     std::size_t numRawEdges() const { return srcs_.size(); }
 
     /**
-     * Build the canonical graph: drop self-loops, symmetrize, dedupe, sort
-     * adjacency lists.
+     * Keep self-loops in the built graph (one u->u edge each) instead of
+     * dropping them. Off by default, matching the paper's
+     * canonicalization; the MatrixMarket reader turns it on for lossless
+     * round trips.
+     */
+    void keepSelfLoops(bool keep) { keepSelfLoops_ = keep; }
+
+    /**
+     * Build the canonical graph: drop self-loops (unless keepSelfLoops),
+     * symmetrize, dedupe, sort adjacency lists.
      *
      * @param with_weights derive deterministic per-undirected-pair weights
      *        in [1, 31] from a hash of the endpoint ids (both directions of
@@ -49,6 +57,7 @@ class GraphBuilder
 
   private:
     VertexId numVertices_;
+    bool keepSelfLoops_ = false;
     std::vector<VertexId> srcs_;
     std::vector<VertexId> dsts_;
 };

@@ -24,7 +24,7 @@ lower(std::string s)
 } // namespace
 
 CsrGraph
-readMatrixMarket(std::istream& in, bool with_weights)
+readMatrixMarket(std::istream& in, bool with_weights, bool keep_self_loops)
 {
     std::string line;
     if (!std::getline(in, line))
@@ -58,6 +58,7 @@ readMatrixMarket(std::istream& in, bool with_weights)
         GGA_FATAL("adjacency matrix must be square, got ", rows, "x", cols);
 
     GraphBuilder builder(static_cast<VertexId>(rows));
+    builder.keepSelfLoops(keep_self_loops);
     std::uint64_t seen = 0;
     while (seen < nnz && std::getline(in, line)) {
         if (line.empty() || line[0] == '%')
@@ -79,12 +80,13 @@ readMatrixMarket(std::istream& in, bool with_weights)
 }
 
 CsrGraph
-readMatrixMarketFile(const std::string& path, bool with_weights)
+readMatrixMarketFile(const std::string& path, bool with_weights,
+                     bool keep_self_loops)
 {
     std::ifstream in(path);
     if (!in)
         GGA_FATAL("cannot open MatrixMarket file: ", path);
-    return readMatrixMarket(in, with_weights);
+    return readMatrixMarket(in, with_weights, keep_self_loops);
 }
 
 void
@@ -92,18 +94,20 @@ writeMatrixMarket(std::ostream& out, const CsrGraph& g)
 {
     out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
     out << "% written by GGA-Sim\n";
-    // Count undirected pairs (u > v once each; symmetric graph).
+    // Each undirected pair once (v <= u, lower triangle): v == u keeps
+    // self-loops in the file — a strict v < u silently dropped them and
+    // made the round trip lossy for graphs that carry self-edges.
     std::uint64_t pairs = 0;
     for (VertexId u = 0; u < g.numVertices(); ++u) {
         for (VertexId v : g.neighbors(u)) {
-            if (v < u)
+            if (v <= u)
                 ++pairs;
         }
     }
     out << g.numVertices() << ' ' << g.numVertices() << ' ' << pairs << '\n';
     for (VertexId u = 0; u < g.numVertices(); ++u) {
         for (VertexId v : g.neighbors(u)) {
-            if (v < u)
+            if (v <= u)
                 out << (u + 1) << ' ' << (v + 1) << '\n';
         }
     }

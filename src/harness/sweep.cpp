@@ -1,15 +1,36 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <mutex>
-#include <thread>
+#include <utility>
 
-#include "api/registry.hpp"
+#include "api/graph_store.hpp"
 #include "support/log.hpp"
 
 namespace gga {
+
+namespace {
+
+double
+resolveScale(double scale)
+{
+    return scale > 0.0 ? scale : evaluationScale();
+}
+
+RunPlan
+sweepPlan(const Workload& workload, const SystemConfig& cfg,
+          const SimParams& params, double scale)
+{
+    return RunPlan{}
+        .app(workload.app)
+        .graph(workload.graph)
+        .scale(scale)
+        .config(cfg)
+        .params(params)
+        .collectOutputs(false);
+}
+
+} // namespace
 
 const ConfigResult*
 SweepResult::find(const SystemConfig& cfg) const
@@ -28,7 +49,8 @@ baselineConfig(const Workload& workload)
 }
 
 SystemConfig
-predictWorkload(const Workload& workload, const SimParams& params)
+predictWorkload(const Workload& workload, const SimParams& params,
+                double scale)
 {
     GpuGeometry geom;
     geom.numSms = params.numSms;
@@ -36,8 +58,12 @@ predictWorkload(const Workload& workload, const SimParams& params)
     geom.warpSize = params.warpSize;
     geom.l1KiB = params.l1SizeKiB;
     geom.l2KiB = params.l2SizeKiB;
-    const TaxonomyProfile profile =
-        profileGraph(workloadGraph(workload.graph), geom);
+    // Resolve through the GraphStore (not the pinning workloadGraph shim)
+    // so the handle is released after profiling and eviction stays
+    // effective.
+    const GraphStore::GraphPtr graph =
+        GraphStore::instance().get(workload.graph, resolveScale(scale));
+    const TaxonomyProfile profile = profileGraph(*graph, geom);
     return predictFullDesignSpace(profile, algoProperties(workload.app));
 }
 
@@ -58,61 +84,93 @@ defaultSweepThreads()
     return threads;
 }
 
-SweepResult
-sweepWorkload(const Workload& workload, std::vector<SystemConfig> configs,
-              const SimParams& params, const SweepOptions& opts)
+PendingSweep
+submitSweep(Session& session, const Workload& workload,
+            std::vector<SystemConfig> configs,
+            std::optional<SimParams> params, double scale)
 {
+    // Unset knobs defer to the session — the same defaults every plain
+    // run() on this session uses — so one Session never mixes scales or
+    // hardware parameters between sweeps and direct runs.
+    const double graph_scale =
+        scale > 0.0 ? scale : session.options().scale;
+    const SimParams run_params = params.value_or(session.options().params);
+
+    PendingSweep pending;
+    pending.session_ = &session;
+    pending.workload_ = workload;
+    pending.params_ = run_params;
+    pending.scale_ = graph_scale;
+
+    const SystemConfig baseline = baselineConfig(workload);
+    if (std::find(configs.begin(), configs.end(), baseline) == configs.end())
+        configs.push_back(baseline);
+
+    std::vector<RunPlan> plans;
+    plans.reserve(configs.size());
+    for (const SystemConfig& cfg : configs)
+        plans.push_back(sweepPlan(workload, cfg, run_params, graph_scale));
+    pending.configs_ = std::move(configs);
+    pending.futures_ = session.submitAll(std::move(plans));
+    // The prediction (graph build + taxonomy profiling) rides the same
+    // executor instead of blocking this thread, so submitting 36 sweeps
+    // back to back enqueues immediately; collect() appends the
+    // predicted configuration's run if the set didn't include it.
+    pending.predicted_ = session.executor().submit(
+        [workload, run_params, graph_scale] {
+            return predictWorkload(workload, run_params, graph_scale);
+        });
+    return pending;
+}
+
+SweepResult
+PendingSweep::collect()
+{
+    GGA_ASSERT(session_ && !configs_.empty() &&
+                   futures_.size() == configs_.size(),
+               "PendingSweep collected twice or never submitted");
+
     SweepResult sweep;
-    sweep.workload = workload;
-    sweep.predicted = predictWorkload(workload, params);
+    sweep.workload = workload_;
 
-    auto ensure = [&configs](const SystemConfig& cfg) {
-        if (std::find(configs.begin(), configs.end(), cfg) == configs.end())
-            configs.push_back(cfg);
-    };
-    ensure(baselineConfig(workload));
-    ensure(sweep.predicted);
-
-    const CsrGraph& graph = workloadGraph(workload.graph);
-    const AppRegistry::Entry& entry =
-        AppRegistry::instance().at(workload.app);
-
-    // Slot i holds configs[i]'s result, so the result ordering (and the
-    // first-minimum BEST tie-break below) is identical no matter how many
-    // threads fan out the runs.
-    sweep.results.resize(configs.size());
-    std::mutex log_mu;
-    auto runOne = [&](std::size_t i) {
-        const SystemConfig& cfg = configs[i];
-        {
-            std::lock_guard<std::mutex> lock(log_mu);
-            GGA_INFORM("running ", workload.name(), " on ", cfg.name());
-        }
-        sweep.results[i] =
-            ConfigResult{cfg, entry.run(graph, cfg, params, nullptr)};
-    };
-
-    const unsigned requested =
-        opts.threads == 0 ? defaultSweepThreads() : opts.threads;
-    const unsigned threads = static_cast<unsigned>(
-        std::min<std::size_t>(requested, configs.size()));
-    if (threads <= 1) {
-        for (std::size_t i = 0; i < configs.size(); ++i)
-            runOne(i);
-    } else {
-        std::atomic<std::size_t> next{0};
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t) {
-            pool.emplace_back([&] {
-                for (std::size_t i = next.fetch_add(1);
-                     i < sweep.results.size(); i = next.fetch_add(1))
-                    runOne(i);
-            });
-        }
-        for (std::thread& th : pool)
-            th.join();
+    // Resolve the prediction first: if the sweep set doesn't cover it,
+    // its run is submitted *before* draining the config futures, so it
+    // overlaps with them instead of serializing at the tail.
+    sweep.predicted = predicted_.get();
+    std::future<RunOutcome> predicted_run;
+    if (std::find(configs_.begin(), configs_.end(), sweep.predicted) ==
+        configs_.end()) {
+        predicted_run = session_->submit(
+            sweepPlan(workload_, sweep.predicted, params_, scale_));
     }
+
+    // Slot i holds configs_[i]'s result, so the result ordering (and the
+    // first-minimum BEST tie-break below) is identical no matter how wide
+    // the executor fans out the runs.
+    sweep.results.resize(configs_.size());
+    for (std::size_t i = 0; i < futures_.size(); ++i) {
+        try {
+            RunOutcome out = futures_[i].get();
+            sweep.results[i] =
+                ConfigResult{configs_[i], std::move(out.result)};
+        } catch (const PlanError& err) {
+            GGA_FATAL("sweep of ", workload_.name(), ": ", err.what());
+        }
+    }
+    futures_.clear();
+
+    if (predicted_run.valid()) {
+        // Appended last — exactly where the serial path's ensure() put
+        // the missing prediction, so the ordering stays bit-identical.
+        try {
+            RunOutcome out = predicted_run.get();
+            sweep.results.push_back(
+                ConfigResult{sweep.predicted, std::move(out.result)});
+        } catch (const PlanError& err) {
+            GGA_FATAL("sweep of ", workload_.name(), ": ", err.what());
+        }
+    }
+    session_ = nullptr;
 
     const ConfigResult* best = &sweep.results.front();
     for (const ConfigResult& r : sweep.results) {
@@ -122,8 +180,36 @@ sweepWorkload(const Workload& workload, std::vector<SystemConfig> configs,
     sweep.best = best->config;
     sweep.bestCycles = best->run.cycles;
     sweep.predictedCycles = sweep.find(sweep.predicted)->run.cycles;
-    sweep.baselineCycles = sweep.find(baselineConfig(workload))->run.cycles;
+    sweep.baselineCycles = sweep.find(baselineConfig(workload_))->run.cycles;
     return sweep;
+}
+
+SweepResult
+sweepWorkload(Session& session, const Workload& workload,
+              std::vector<SystemConfig> configs,
+              std::optional<SimParams> params, double scale)
+{
+    return submitSweep(session, workload, std::move(configs),
+                       std::move(params), scale)
+        .collect();
+}
+
+SweepResult
+sweepWorkload(const Workload& workload, std::vector<SystemConfig> configs,
+              const SimParams& params, const SweepOptions& opts)
+{
+    SessionOptions session_opts;
+    // Clamp the private pool to the work available: submitSweep adds at
+    // most the baseline and the prediction to @p configs, so anything
+    // wider than that would sit idle for this one sweep.
+    const unsigned requested =
+        opts.threads == 0 ? defaultSessionThreads() : opts.threads;
+    session_opts.threads = static_cast<unsigned>(
+        std::min<std::size_t>(requested, configs.size() + 2));
+    session_opts.scale = resolveScale(opts.scale);
+    session_opts.verboseRuns = true; // match the legacy per-run inform
+    Session session(session_opts);
+    return sweepWorkload(session, workload, std::move(configs), params);
 }
 
 } // namespace gga

@@ -2,13 +2,23 @@
  * @file
  * Design-space sweeps: run a workload across configuration sets, find the
  * empirical BEST, and pair it with the model's PRED.
+ *
+ * All execution goes through a Session's shared executor
+ * (Session::submitAll): submitSweep() enqueues one RunPlan per
+ * configuration and returns a PendingSweep whose collect() gathers the
+ * futures in configuration order — so many sweeps can be in flight on one
+ * executor (parallelism across workloads *and* configurations) while each
+ * SweepResult stays bit-identical to a serial run() loop.
  */
 
 #ifndef GGA_HARNESS_SWEEP_HPP
 #define GGA_HARNESS_SWEEP_HPP
 
+#include <future>
+#include <optional>
 #include <vector>
 
+#include "api/session.hpp"
 #include "apps/runner.hpp"
 #include "harness/workloads.hpp"
 #include "model/decision_tree.hpp"
@@ -37,27 +47,89 @@ struct SweepResult
     const ConfigResult* find(const SystemConfig& cfg) const;
 };
 
-/** Execution knobs for sweepWorkload. */
+/**
+ * A sweep whose per-configuration runs — and the model prediction, which
+ * rides the same executor so submitting many sweeps never serializes
+ * graph profiling on the caller's thread — are enqueued on a Session
+ * executor but not yet gathered. Move-only; collect() may be called
+ * once. The Session must outlive the PendingSweep's collect().
+ */
+class PendingSweep
+{
+  public:
+    const Workload& workload() const { return workload_; }
+
+    /**
+     * Block until every run finishes and assemble the SweepResult.
+     * Results are ordered by configuration exactly as submitted (with
+     * the predicted configuration's run appended last when the sweep
+     * didn't already include it, as the serial path always did), and the
+     * BEST tie-break is the first minimum in that order, so the outcome
+     * is bit-identical at any executor width.
+     */
+    SweepResult collect();
+
+  private:
+    friend PendingSweep submitSweep(Session&, const Workload&,
+                                    std::vector<SystemConfig>,
+                                    std::optional<SimParams>, double);
+
+    Session* session_ = nullptr;
+    Workload workload_{};
+    SimParams params_{};
+    double scale_ = 0.0;
+    std::vector<SystemConfig> configs_;
+    std::vector<std::future<RunOutcome>> futures_;
+    std::future<SystemConfig> predicted_;
+};
+
+/**
+ * Enqueue @p workload under every configuration in @p configs (the
+ * baseline and the model's prediction are added when missing) on
+ * @p session's executor, without blocking on the runs. @p params and
+ * @p scale default to the session's SessionOptions (nullopt / 0), the
+ * same defaults every plain run() on the session uses, so a sweep is
+ * never silently inconsistent with direct runs on the same session.
+ */
+PendingSweep submitSweep(Session& session, const Workload& workload,
+                         std::vector<SystemConfig> configs,
+                         std::optional<SimParams> params = std::nullopt,
+                         double scale = 0.0);
+
+/** submitSweep + collect: the blocking sweep through a shared Session. */
+SweepResult sweepWorkload(Session& session, const Workload& workload,
+                          std::vector<SystemConfig> configs,
+                          std::optional<SimParams> params = std::nullopt,
+                          double scale = 0.0);
+
+/** Execution knobs for the standalone sweepWorkload overload. */
 struct SweepOptions
 {
     /**
-     * Worker threads fanning out the per-configuration runs. 0 = the
-     * GGA_SWEEP_THREADS environment default (1 when unset). Each
-     * configuration's simulation is independent and deterministic, so
-     * the SweepResult — result ordering, BEST, and PRED — is
+     * Executor width for the internally-created Session. 0 = the
+     * GGA_SESSION_THREADS environment default (which honors the
+     * deprecated GGA_SWEEP_THREADS as a fallback). The SweepResult is
      * bit-identical to the serial path at any thread count.
      */
     unsigned threads = 0;
+
+    /**
+     * Preset graph scale for the internally-created Session; 0 = the
+     * GGA_SCALE evaluation scale (the legacy default).
+     */
+    double scale = 0.0;
 };
 
-/** GGA_SWEEP_THREADS environment value, or 1 when unset/invalid. */
+/**
+ * Deprecated: GGA_SWEEP_THREADS environment value, or 1 when
+ * unset/invalid. Prefer defaultSessionThreads() / SessionOptions::threads.
+ */
 unsigned defaultSweepThreads();
 
 /**
- * Run @p workload under every configuration in @p configs (must include
- * the model's prediction and the baseline, or they are added), and fill
- * in BEST/PRED. With opts.threads > 1 the per-config runs execute on a
- * thread pool.
+ * Standalone sweep: creates a private Session sized by @p opts. Prefer
+ * the Session-taking overload (or submitSweep) so concurrent sweeps share
+ * one executor.
  */
 SweepResult sweepWorkload(const Workload& workload,
                           std::vector<SystemConfig> configs,
@@ -67,9 +139,14 @@ SweepResult sweepWorkload(const Workload& workload,
 /** The baseline configuration a workload's Fig. 5 group normalizes to. */
 SystemConfig baselineConfig(const Workload& workload);
 
-/** The model's prediction for a workload (full design space). */
+/**
+ * The model's prediction for a workload (full design space), profiling
+ * the input through the GraphStore at @p scale (0 = the GGA_SCALE
+ * evaluation scale).
+ */
 SystemConfig predictWorkload(const Workload& workload,
-                             const SimParams& params = SimParams{});
+                             const SimParams& params = SimParams{},
+                             double scale = 0.0);
 
 } // namespace gga
 

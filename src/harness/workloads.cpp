@@ -44,9 +44,12 @@ const CsrGraph&
 workloadGraph(GraphPreset p)
 {
     const double scale = evaluationScale();
-    // Thread-safe shim over the GraphStore. The store hands out
-    // shared_ptrs; pin them for the process lifetime so the returned
-    // reference stays valid even if the store later evicts the entry.
+    // Thread-safe shim over the GraphStore, kept only for legacy callers
+    // that want a reference: it pins each handle for the process lifetime
+    // so the reference survives eviction, which also means nothing pinned
+    // here is ever really evictable and the GGA_SCALE env is the only
+    // scale it honors. The sweep/predict paths no longer come through
+    // here — new code should hold a GraphStore::get shared_ptr instead.
     static std::mutex mu;
     static std::map<std::pair<GraphPreset, double>,
                     std::shared_ptr<const CsrGraph>>

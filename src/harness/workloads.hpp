@@ -46,11 +46,11 @@ std::vector<Workload> allWorkloads();
 double evaluationScale();
 
 /**
- * The (possibly scaled) input graph of a workload, resolved through the
- * thread-safe GraphStore at the GGA_SCALE evaluation scale. The returned
- * reference stays valid for the process lifetime. Callable from any
- * thread; prefer GraphStore::get in new code for explicit scale control
- * and eviction.
+ * Deprecated: the (possibly scaled) input graph of a workload, resolved
+ * through the thread-safe GraphStore at the GGA_SCALE evaluation scale
+ * and pinned for the process lifetime (so eviction never frees it). Use
+ * GraphStore::get in new code for explicit scale control and working
+ * eviction; the sweep machinery no longer calls this.
  */
 const CsrGraph& workloadGraph(GraphPreset p);
 

@@ -246,6 +246,27 @@ TEST(Parity, OutputsCanBeDisabled)
     EXPECT_GT(out.result.cycles, 0u);
 }
 
+TEST(Parity, ExplicitPlanCollectOutputsBeatsSessionDefault)
+{
+    SessionOptions opts;
+    opts.collectOutputs = false;
+    Session session(opts);
+    const RunPlan base = RunPlan{}
+                             .app(AppId::Cc)
+                             .graph(smallGraph(), "api-small")
+                             .config("DG1");
+    // No explicit setting: the session default (off) applies.
+    EXPECT_FALSE(session.run(base).hasOutput());
+    // An explicit .collectOutputs(true) must override the session's
+    // collect-off default, not be silently ANDed away.
+    EXPECT_TRUE(session.run(RunPlan{base}.collectOutputs(true)).hasOutput());
+    // And the reverse: an explicit off wins over a collect-on session.
+    Session collecting;
+    EXPECT_FALSE(
+        collecting.run(RunPlan{base}.collectOutputs(false)).hasOutput());
+    EXPECT_TRUE(collecting.run(base).hasOutput());
+}
+
 // --- graph store ----------------------------------------------------------
 
 TEST(GraphStoreTest, ConcurrentGetSharesOneBuild)
@@ -273,6 +294,27 @@ TEST(GraphStoreTest, KeysOnPresetAndScale)
     EXPECT_EQ(store.size(), 3u);
     // Same key twice: cached.
     EXPECT_EQ(store.get(GraphPreset::Dct, 0.05).get(), small.get());
+}
+
+TEST(GraphStoreTest, QuantizesNearlyEqualScaleKeys)
+{
+    // 0.1 + 0.2 != 0.3 as raw doubles; a raw-double key would cache two
+    // copies of the same graph. The key quantizes to 1e-6, so both
+    // spellings share one entry — and eviction finds it from either.
+    GraphStore store;
+    const double computed = 0.1 + 0.2;
+    ASSERT_NE(computed, 0.3); // the premise: raw doubles differ
+    EXPECT_EQ(GraphStore::quantizeScale(computed),
+              GraphStore::quantizeScale(0.3));
+    const auto a = store.get(GraphPreset::Dct, 0.3);
+    const auto b = store.get(GraphPreset::Dct, computed);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(store.size(), 1u);
+    // Scales at least 1e-6 apart stay distinct.
+    EXPECT_NE(GraphStore::quantizeScale(0.3),
+              GraphStore::quantizeScale(0.300001));
+    EXPECT_TRUE(store.evict(GraphPreset::Dct, computed));
+    EXPECT_EQ(store.size(), 0u);
 }
 
 TEST(GraphStoreTest, EvictionKeepsOutstandingHandlesValid)

@@ -139,5 +139,40 @@ TEST(MtxIo, RoundTrips)
     EXPECT_EQ(g2.colIndices(), g.colIndices());
 }
 
+TEST(MtxIo, RoundTripsGraphWithSelfLoops)
+{
+    // The writer must emit v <= u pairs: a strict v < u dropped the
+    // diagonal, so any graph carrying self-loops came back smaller.
+    GraphBuilder b(4);
+    b.keepSelfLoops(true);
+    b.addUndirected(0, 1);
+    b.addUndirected(1, 2);
+    b.addEdge(0, 0);
+    b.addEdge(3, 3);
+    const CsrGraph g = b.build(/*with_weights=*/true);
+    EXPECT_FALSE(g.hasNoSelfLoops());
+    EXPECT_EQ(g.numEdges(), 6u); // 2 pairs doubled + 2 self-loops
+
+    std::ostringstream out;
+    writeMatrixMarket(out, g);
+
+    // Lossless path: keep self-loops on re-read.
+    std::istringstream in(out.str());
+    const CsrGraph g2 =
+        readMatrixMarket(in, /*with_weights=*/true,
+                         /*keep_self_loops=*/true);
+    EXPECT_EQ(g2.rowOffsets(), g.rowOffsets());
+    EXPECT_EQ(g2.colIndices(), g.colIndices());
+    // Weights are a deterministic endpoint hash, so they round-trip too.
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        EXPECT_EQ(g2.edgeWeight(e), g.edgeWeight(e)) << e;
+
+    // Default read still canonicalizes (paper Sec. V-A): loops dropped.
+    std::istringstream in2(out.str());
+    const CsrGraph canon = readMatrixMarket(in2);
+    EXPECT_TRUE(canon.hasNoSelfLoops());
+    EXPECT_EQ(canon.numEdges(), 4u);
+}
+
 } // namespace
 } // namespace gga
