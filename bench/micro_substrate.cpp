@@ -1,12 +1,28 @@
 /**
  * @file
- * google-benchmark micro-benchmarks of the substrate components: event
- * engine throughput, cache lookups, k-means, graph generation, taxonomy
- * metrics, and small end-to-end simulations. These track the simulator's
- * own performance (host wall-time), not simulated cycles.
+ * Micro-benchmarks of the substrate components: event engine throughput
+ * (time wheel vs. the binary-heap reference), cache lookups, k-means,
+ * graph generation, taxonomy metrics, and small end-to-end simulations.
+ * These track the simulator's own performance (host wall-time), not
+ * simulated cycles.
+ *
+ * Two modes:
+ *   ./micro_substrate [google-benchmark flags]   interactive tables
+ *   ./micro_substrate --json out.json            self-contained suite that
+ *       writes the machine-readable BENCH_engine.json consumed by
+ *       scripts/bench.sh, tracking events/sec, ns/event, the wheel:heap
+ *       speedup, and end-to-end run times across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
 
 #include "api/session.hpp"
 #include "graph/generator.hpp"
@@ -19,6 +35,188 @@
 #include "taxonomy/profile.hpp"
 
 namespace {
+
+/**
+ * The binary min-heap engine this repository used before the time wheel
+ * (PR 3), kept verbatim as the measurement baseline so the wheel's
+ * speedup stays verifiable in-tree rather than being a one-off number.
+ */
+class BinaryHeapEngine
+{
+  public:
+    gga::Cycles now() const { return now_; }
+
+    void
+    schedule(gga::Cycles delay, gga::EventFn fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    void
+    scheduleAt(gga::Cycles when, gga::EventFn fn)
+    {
+        heap_.push_back(Event{when, seq_++, std::move(fn)});
+        siftUp(heap_.size() - 1);
+    }
+
+    void
+    run()
+    {
+        while (!heap_.empty()) {
+            Event ev = std::move(heap_.front());
+            if (heap_.size() > 1) {
+                heap_.front() = std::move(heap_.back());
+                heap_.pop_back();
+                siftDown(0);
+            } else {
+                heap_.pop_back();
+            }
+            now_ = ev.time;
+            ++processed_;
+            ev.fn();
+        }
+    }
+
+    std::uint64_t processedEvents() const { return processed_; }
+
+  private:
+    struct Event
+    {
+        gga::Cycles time;
+        std::uint64_t seq;
+        gga::EventFn fn;
+    };
+
+    static bool
+    later(const Event& a, const Event& b)
+    {
+        return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!later(heap_[parent], heap_[i]))
+                break;
+            std::swap(heap_[parent], heap_[i]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        while (true) {
+            const std::size_t l = 2 * i + 1;
+            const std::size_t r = 2 * i + 2;
+            std::size_t best = i;
+            if (l < n && later(heap_[best], heap_[l]))
+                best = l;
+            if (r < n && later(heap_[best], heap_[r]))
+                best = r;
+            if (best == i)
+                break;
+            std::swap(heap_[best], heap_[i]);
+            i = best;
+        }
+    }
+
+    std::vector<Event> heap_;
+    gga::Cycles now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+/**
+ * Delay distribution matching the simulator's profile: mostly 0/1-cycle
+ * continuations, a band of cache/NoC latencies, occasional DRAM fills
+ * and rare far timeouts. Pre-generated so every engine replays the same
+ * schedule.
+ */
+std::vector<gga::Cycles>
+benchDelays(std::size_t count)
+{
+    std::vector<gga::Cycles> delays(count);
+    gga::Xoshiro256StarStar rng(17);
+    for (auto& d : delays) {
+        const std::uint64_t r = rng.nextBounded(1000);
+        if (r < 300)
+            d = 0;
+        else if (r < 620)
+            d = 1;
+        else if (r < 800)
+            d = 2 + rng.nextBounded(30);
+        else if (r < 950)
+            d = 30 + rng.nextBounded(270); // L2/NoC round trips
+        else if (r < 999)
+            d = 170 + rng.nextBounded(2000); // DRAM + queueing
+        else
+            d = (1u << 20) + rng.nextBounded(5000); // far timeout
+    }
+    return delays;
+}
+
+/**
+ * Steady-state throughput: keep @p width self-rescheduling chains alive
+ * until @p total events have executed. Models the simulator's hot loop
+ * (pop one event, schedule a successor).
+ */
+template <typename EngineT>
+double
+chainedNsPerEvent(std::size_t width, std::uint64_t total)
+{
+    const std::vector<gga::Cycles> delays = benchDelays(4096);
+    EngineT engine;
+    std::uint64_t executed = 0;
+    struct Chain
+    {
+        EngineT* engine;
+        std::uint64_t* executed;
+        std::uint64_t total;
+        const std::vector<gga::Cycles>* delays;
+
+        void
+        operator()() const
+        {
+            if (++*executed >= total)
+                return;
+            engine->schedule((*delays)[*executed & 4095], *this);
+        }
+    };
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < width; ++c)
+        engine.schedule(delays[c & 4095],
+                        Chain{&engine, &executed, total, &delays});
+    engine.run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    return ns / static_cast<double>(executed);
+}
+
+/** Bulk schedule+run: @p total events in batches of @p batch. */
+template <typename EngineT>
+double
+bulkNsPerEvent(std::size_t batch, std::uint64_t total)
+{
+    const std::vector<gga::Cycles> delays = benchDelays(4096);
+    std::uint64_t count = 0;
+    const auto start = std::chrono::steady_clock::now();
+    EngineT engine;
+    for (std::uint64_t done = 0; done < total; done += batch) {
+        for (std::size_t i = 0; i < batch; ++i)
+            engine.schedule(delays[(done + i) & 4095], [&count] { ++count; });
+        engine.run();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(count);
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    return ns / static_cast<double>(count);
+}
 
 const gga::CsrGraph&
 benchGraph()
@@ -39,6 +237,122 @@ benchGraph()
     return g;
 }
 
+// --------------------------------------------------------------------------
+// --json mode: the tracked BENCH_engine.json suite.
+// --------------------------------------------------------------------------
+
+struct EndToEnd
+{
+    const char* app;
+    const char* config;
+    double wallMs;
+    std::uint64_t simEvents;
+    double hostEventsPerSec;
+};
+
+EndToEnd
+runEndToEnd(gga::Session& session, const char* config)
+{
+    const gga::RunPlan plan = gga::RunPlan{}
+                                  .app(gga::AppId::Pr)
+                                  .graph(benchGraph(), "bench")
+                                  .config(config)
+                                  .collectOutputs(false);
+    // Warm the graph caches once, then time three runs and keep the best.
+    session.run(plan);
+    double best_ms = 1e100;
+    std::uint64_t events = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        const gga::RunOutcome out = session.run(plan);
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        events = out.result.events;
+        best_ms = std::min(best_ms, ms);
+    }
+    return EndToEnd{"PR", config, best_ms, events,
+                    static_cast<double>(events) / (best_ms * 1e-3)};
+}
+
+int
+runJsonSuite(const char* path)
+{
+    constexpr std::uint64_t kBulkTotal = 4u << 20;
+    constexpr std::uint64_t kChainTotal = 4u << 20;
+    constexpr std::size_t kBatch = 4096;
+    constexpr std::size_t kWidth = 1024;
+
+    std::fprintf(stderr, "[bench] engine bulk schedule+run...\n");
+    const double wheel_bulk = bulkNsPerEvent<gga::Engine>(kBatch, kBulkTotal);
+    const double heap_bulk =
+        bulkNsPerEvent<BinaryHeapEngine>(kBatch, kBulkTotal);
+    std::fprintf(stderr, "[bench] engine chained steady state...\n");
+    const double wheel_chain =
+        chainedNsPerEvent<gga::Engine>(kWidth, kChainTotal);
+    const double heap_chain =
+        chainedNsPerEvent<BinaryHeapEngine>(kWidth, kChainTotal);
+
+    std::fprintf(stderr, "[bench] end-to-end PR runs...\n");
+    gga::Session session;
+    const EndToEnd tg0 = runEndToEnd(session, "TG0");
+    const EndToEnd sgr = runEndToEnd(session, "SGR");
+
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    char stamp[64];
+    const std::time_t t = std::time(nullptr);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&t));
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"suite\": \"gga micro_substrate\",\n");
+    std::fprintf(f, "  \"generated\": \"%s\",\n", stamp);
+    std::fprintf(f, "  \"engine\": {\n");
+    std::fprintf(f,
+                 "    \"bulk_schedule_run\": {\"events\": %llu, "
+                 "\"wheel_ns_per_event\": %.2f, \"heap_ns_per_event\": "
+                 "%.2f, \"wheel_events_per_sec\": %.0f, "
+                 "\"speedup_vs_heap\": %.2f},\n",
+                 static_cast<unsigned long long>(kBulkTotal), wheel_bulk,
+                 heap_bulk, 1e9 / wheel_bulk, heap_bulk / wheel_bulk);
+    std::fprintf(f,
+                 "    \"chained_steady_state\": {\"events\": %llu, "
+                 "\"width\": %zu, \"wheel_ns_per_event\": %.2f, "
+                 "\"heap_ns_per_event\": %.2f, \"wheel_events_per_sec\": "
+                 "%.0f, \"speedup_vs_heap\": %.2f}\n",
+                 static_cast<unsigned long long>(kChainTotal), kWidth,
+                 wheel_chain, heap_chain, 1e9 / wheel_chain,
+                 heap_chain / wheel_chain);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"end_to_end\": [\n");
+    const EndToEnd* rows[] = {&tg0, &sgr};
+    for (std::size_t i = 0; i < 2; ++i) {
+        std::fprintf(f,
+                     "    {\"app\": \"%s\", \"config\": \"%s\", "
+                     "\"wall_ms\": %.1f, \"sim_events\": %llu, "
+                     "\"host_events_per_sec\": %.0f}%s\n",
+                     rows[i]->app, rows[i]->config, rows[i]->wallMs,
+                     static_cast<unsigned long long>(rows[i]->simEvents),
+                     rows[i]->hostEventsPerSec, i == 0 ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "[bench] wrote %s (bulk %.1fns/ev %.2fx, chained %.1fns/ev "
+                 "%.2fx vs heap)\n",
+                 path, wheel_bulk, heap_bulk / wheel_bulk, wheel_chain,
+                 heap_chain / wheel_chain);
+    return 0;
+}
+
+// --------------------------------------------------------------------------
+// google-benchmark registrations (interactive mode).
+// --------------------------------------------------------------------------
+
 void
 BM_EngineScheduleRun(benchmark::State& state)
 {
@@ -55,6 +369,45 @@ BM_EngineScheduleRun(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_EngineScheduleRun);
+
+void
+BM_HeapEngineScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        BinaryHeapEngine engine;
+        std::uint64_t count = 0;
+        for (int i = 0; i < 4096; ++i) {
+            engine.schedule(static_cast<gga::Cycles>(i % 97),
+                            [&count] { ++count; });
+        }
+        engine.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HeapEngineScheduleRun);
+
+void
+BM_EngineChained(benchmark::State& state)
+{
+    for (auto _ : state) {
+        const double ns = chainedNsPerEvent<gga::Engine>(256, 1u << 18);
+        benchmark::DoNotOptimize(ns);
+    }
+    state.SetItemsProcessed(state.iterations() * (1u << 18));
+}
+BENCHMARK(BM_EngineChained)->Unit(benchmark::kMillisecond);
+
+void
+BM_HeapEngineChained(benchmark::State& state)
+{
+    for (auto _ : state) {
+        const double ns = chainedNsPerEvent<BinaryHeapEngine>(256, 1u << 18);
+        benchmark::DoNotOptimize(ns);
+    }
+    state.SetItemsProcessed(state.iterations() * (1u << 18));
+}
+BENCHMARK(BM_HeapEngineChained)->Unit(benchmark::kMillisecond);
 
 void
 BM_CacheLookupInsert(benchmark::State& state)
@@ -144,6 +497,15 @@ int
 main(int argc, char** argv)
 {
     gga::setVerbose(false);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires an output path\n");
+                return 1;
+            }
+            return runJsonSuite(argv[i + 1]);
+        }
+    }
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
     return 0;

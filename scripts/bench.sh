@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build the Release benchmarks and refresh BENCH_engine.json, the
+# machine-readable perf trajectory tracked across PRs (event-engine
+# events/sec, ns/event, wheel-vs-heap speedup, end-to-end run times).
+#
+# Usage: scripts/bench.sh [output.json]
+#   BUILD_DIR=... to reuse/redirect the build tree (default: build-bench).
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+out=${1:-"$repo_root/BENCH_engine.json"}
+build_dir=${BUILD_DIR:-"$repo_root/build-bench"}
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j --target micro_substrate
+"$build_dir/micro_substrate" --json "$out"
+echo "wrote $out"

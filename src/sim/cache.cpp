@@ -88,11 +88,17 @@ std::vector<Addr>
 SetAssocCache::collectLines(LineState st) const
 {
     std::vector<Addr> out;
+    collectLines(st, out);
+    return out;
+}
+
+void
+SetAssocCache::collectLines(LineState st, std::vector<Addr>& out) const
+{
     for (const Way& w : ways_) {
         if (w.state == st)
             out.push_back(w.line);
     }
-    return out;
 }
 
 std::uint64_t

@@ -57,6 +57,13 @@ class SetAssocCache
     std::vector<Addr> collectLines(LineState st) const;
 
     /**
+     * Append all lines in state @p st to @p out. Callers on the hot path
+     * (release flushes) pass a reused scratch buffer so a flush does not
+     * allocate a fresh vector.
+     */
+    void collectLines(LineState st, std::vector<Addr>& out) const;
+
+    /**
      * Invalidate every line for which @p keep_owned is false or the state
      * is not Owned. Returns the number of lines invalidated. Used for
      * flash self-invalidation (GPU: everything; DeNovo: non-owned only).

@@ -15,7 +15,7 @@ SmCore::startBlock(std::uint32_t block_id, std::uint32_t first_thread,
                    std::uint32_t thread_count, const WarpFactory& make)
 {
     GGA_ASSERT(thread_count > 0, "empty thread block");
-    GGA_ASSERT(!blocks_.count(block_id), "block already resident");
+    GGA_ASSERT(!blocks_.contains(block_id), "block already resident");
     BlockRec& rec = blocks_[block_id];
 
     const std::uint32_t warp_size = params_.warpSize;
@@ -49,12 +49,12 @@ void
 SmCore::onWarpFinished(Warp& w)
 {
     accounting_.warpFinished(engine_.now());
-    auto it = blocks_.find(w.blockId());
-    GGA_ASSERT(it != blocks_.end(), "warp finished for unknown block");
-    GGA_ASSERT(it->second.warpsLeft > 0, "block warp underflow");
-    if (--it->second.warpsLeft == 0) {
-        const std::uint32_t block_id = it->first;
-        blocks_.erase(it);
+    BlockRec* rec = blocks_.find(w.blockId());
+    GGA_ASSERT(rec != nullptr, "warp finished for unknown block");
+    GGA_ASSERT(rec->warpsLeft > 0, "block warp underflow");
+    if (--rec->warpsLeft == 0) {
+        const std::uint32_t block_id = w.blockId();
+        blocks_.erase(block_id);
         if (onBlockComplete_)
             onBlockComplete_(block_id);
     }
@@ -63,9 +63,9 @@ SmCore::onWarpFinished(Warp& w)
 void
 SmCore::barrierArrive(Warp& w)
 {
-    auto it = blocks_.find(w.blockId());
-    GGA_ASSERT(it != blocks_.end(), "barrier for unknown block");
-    BlockRec& rec = it->second;
+    BlockRec* found = blocks_.find(w.blockId());
+    GGA_ASSERT(found != nullptr, "barrier for unknown block");
+    BlockRec& rec = *found;
     rec.atBarrier.push_back(&w);
     rec.barrierArrived++;
     if (rec.barrierArrived == rec.warpsLeft) {

@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/consistency.hpp"
@@ -19,6 +18,7 @@
 #include "sim/l1.hpp"
 #include "sim/stall.hpp"
 #include "sim/warp.hpp"
+#include "support/flat_map.hpp"
 
 namespace gga {
 
@@ -87,7 +87,7 @@ class SmCore
     ConsistencySpec spec_;
     SmAccounting accounting_;
     Cycles issueFree_ = 0;
-    std::unordered_map<std::uint32_t, BlockRec> blocks_;
+    FlatMap<std::uint32_t, BlockRec> blocks_;
     std::vector<std::unique_ptr<Warp>> warps_;
     std::function<void(std::uint32_t)> onBlockComplete_;
 

@@ -1,10 +1,13 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/log.hpp"
 
 namespace gga {
+
+Engine::Engine() = default;
 
 void
 Engine::schedule(Cycles delay, EventFn fn)
@@ -17,58 +20,154 @@ Engine::scheduleAt(Cycles when, EventFn fn)
 {
     GGA_ASSERT(when >= now_, "cannot schedule into the past: ", when,
                " < ", now_);
-    heap_.push_back(Event{when, seq_++, std::move(fn)});
-    siftUp(heap_.size() - 1);
+    place(when, std::move(fn));
+    ++pending_;
+}
+
+void
+Engine::place(Cycles when, EventFn&& fn)
+{
+    // The highest digit (base 1024) in which `when` differs from `now_`
+    // picks the wheel level; anything differing above level 2 is far.
+    const Cycles delta = when ^ now_;
+    if (!(delta >> kLogBuckets))
+        pushBucket(0, digit(when, 0), when, std::move(fn));
+    else if (!(delta >> (2 * kLogBuckets)))
+        pushBucket(1, digit(when, 1), when, std::move(fn));
+    else if (!(delta >> (3 * kLogBuckets)))
+        pushBucket(2, digit(when, 2), when, std::move(fn));
+    else
+        far_.push_back(Event{when, std::move(fn)});
+}
+
+void
+Engine::pushBucket(std::uint32_t level, std::size_t idx, Cycles when,
+                   EventFn&& fn)
+{
+    Level& lv = levels_[level];
+    std::vector<Event>& b = lv.buckets[idx];
+    if (b.empty())
+        lv.bits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    b.push_back(Event{when, std::move(fn)});
+    ++lv.count;
 }
 
 void
 Engine::run()
 {
-    while (!heap_.empty()) {
-        // Move the top event out, restore the heap, then execute. The
-        // callback may schedule new events.
-        Event ev = std::move(heap_.front());
-        if (heap_.size() > 1) {
-            heap_.front() = std::move(heap_.back());
-            heap_.pop_back();
-            siftDown(0);
+    while (pending_ > 0) {
+        if (levels_[0].count > 0) {
+            // All L0 events live in now_'s level-1 block, at digit-0
+            // indices >= the current one: the occupancy scan never wraps.
+            const std::size_t idx =
+                firstSetFrom(levels_[0], digit(now_, 0));
+            GGA_ASSERT(idx < kBuckets, "L0 occupancy out of window");
+            now_ = (now_ & ~kBucketMask) | static_cast<Cycles>(idx);
+            drainBucket(levels_[0].buckets[idx]);
         } else {
-            heap_.pop_back();
+            advance();
         }
-        now_ = ev.time;
+    }
+}
+
+void
+Engine::drainBucket(std::vector<Event>& bucket)
+{
+    // Index loop: a callback may append same-time events to this very
+    // bucket (delay 0); they run in this sweep, in schedule order. Move
+    // each event out before invoking — the append may reallocate.
+    std::size_t i = 0;
+    while (i < bucket.size()) {
+        Event ev = std::move(bucket[i]);
+        ++i;
+        --pending_;
+        --levels_[0].count;
         ++processed_;
         ev.fn();
     }
+    bucket.clear();
+    const std::size_t idx = digit(now_, 0);
+    levels_[0].bits[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
 }
 
 void
-Engine::siftUp(std::size_t i)
+Engine::advance()
 {
-    while (i > 0) {
-        const std::size_t parent = (i - 1) / 2;
-        if (!later(heap_[parent], heap_[i]))
-            break;
-        std::swap(heap_[parent], heap_[i]);
-        i = parent;
+    while (levels_[0].count == 0) {
+        if (levels_[1].count > 0) {
+            // Next pending level-1 block; its bucket cascades straight
+            // into L0 (every event there shares the new now_'s digit 1).
+            const std::size_t idx =
+                firstSetFrom(levels_[1], digit(now_, 1) + 1);
+            GGA_ASSERT(idx < kBuckets, "L1 occupancy behind now");
+            now_ = (now_ & ~((Cycles{1} << (2 * kLogBuckets)) - 1)) |
+                   (static_cast<Cycles>(idx) << kLogBuckets);
+            cascade(1, idx);
+            return;
+        }
+        if (levels_[2].count > 0) {
+            const std::size_t idx =
+                firstSetFrom(levels_[2], digit(now_, 2) + 1);
+            GGA_ASSERT(idx < kBuckets, "L2 occupancy behind now");
+            now_ = (now_ & ~((Cycles{1} << (3 * kLogBuckets)) - 1)) |
+                   (static_cast<Cycles>(idx) << (2 * kLogBuckets));
+            cascade(2, idx);
+            continue; // the bucket landed in L1 and/or L0
+        }
+        // Only the far list holds events: jump to the earliest one's
+        // top-level block and re-file that block's events inward.
+        GGA_ASSERT(!far_.empty(), "pending events lost");
+        Cycles min_time = far_.front().time;
+        for (const Event& ev : far_)
+            min_time = std::min(min_time, ev.time);
+        now_ = min_time & ~((Cycles{1} << (3 * kLogBuckets)) - 1);
+        refillFromFar();
     }
 }
 
 void
-Engine::siftDown(std::size_t i)
+Engine::cascade(std::uint32_t level, std::size_t idx)
 {
-    const std::size_t n = heap_.size();
+    // place() re-files each event at a strictly lower level, so the
+    // source bucket is never touched while we iterate. FIFO iteration
+    // keeps schedule order within every destination bucket.
+    Level& lv = levels_[level];
+    std::vector<Event>& b = lv.buckets[idx];
+    lv.bits[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    lv.count -= b.size();
+    for (Event& ev : b)
+        place(ev.time, std::move(ev.fn));
+    b.clear();
+}
+
+void
+Engine::refillFromFar()
+{
+    std::vector<Event> keep;
+    keep.reserve(far_.size());
+    for (Event& ev : far_) {
+        if ((ev.time ^ now_) >> (3 * kLogBuckets))
+            keep.push_back(std::move(ev));
+        else
+            place(ev.time, std::move(ev.fn));
+    }
+    far_ = std::move(keep);
+}
+
+std::size_t
+Engine::firstSetFrom(const Level& lv, std::size_t from) const
+{
+    if (from >= kBuckets)
+        return kBuckets;
+    std::size_t w = from >> 6;
+    std::uint64_t word = lv.bits[w] & (~std::uint64_t{0} << (from & 63));
     while (true) {
-        const std::size_t l = 2 * i + 1;
-        const std::size_t r = 2 * i + 2;
-        std::size_t best = i;
-        if (l < n && later(heap_[best], heap_[l]))
-            best = l;
-        if (r < n && later(heap_[best], heap_[r]))
-            best = r;
-        if (best == i)
-            break;
-        std::swap(heap_[best], heap_[i]);
-        i = best;
+        if (word != 0)
+            return (w << 6) +
+                   static_cast<std::size_t>(__builtin_ctzll(word));
+        if (++w == kBitWords)
+            return kBuckets;
+        word = lv.bits[w];
     }
 }
 

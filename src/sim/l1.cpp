@@ -19,15 +19,21 @@ L1Controller::L1Controller(Engine& engine, const SimParams& params,
 }
 
 void
+L1Controller::retire(Pending* req)
+{
+    // Move the continuation out before recycling: done() may start a new
+    // request that reuses this very block.
+    EventFn done = std::move(req->done);
+    pendingPool_.destroy(req);
+    done();
+}
+
+void
 L1Controller::finishOne(Pending* req)
 {
     GGA_ASSERT(req->remaining > 0, "pending request underflow");
-    if (--req->remaining == 0) {
-        engine_.schedule(0, [req] {
-            req->done();
-            delete req;
-        });
-    }
+    if (--req->remaining == 0)
+        engine_.schedule(0, [this, req] { retire(req); });
 }
 
 void
@@ -52,9 +58,32 @@ void
 L1Controller::fillLine(Addr line, LineState st)
 {
     insertLine(line, st);
-    for (EventFn& waiter : mshr_.complete(line))
+    // Fills never nest (all L2 responses arrive through the engine), so
+    // one scratch vector serves every completion.
+    GGA_ASSERT(fillScratch_.empty(), "re-entrant fill");
+    mshr_.complete(line, fillScratch_);
+    for (EventFn& waiter : fillScratch_)
         waiter();
+    fillScratch_.clear();
     pumpMshrWaiters();
+}
+
+bool
+L1Controller::drained() const
+{
+    return sb_.empty() && pendingStoreFills_ == 0;
+}
+
+void
+L1Controller::maybeNotifyDrain()
+{
+    if (drainWaiters_.empty() || !drained())
+        return;
+    // finishOne only schedules the continuation, so no new flush can be
+    // registered while this loop runs.
+    for (Pending* req : drainWaiters_)
+        finishOne(req);
+    drainWaiters_.clear();
 }
 
 void
@@ -62,6 +91,7 @@ L1Controller::releaseSb()
 {
     sb_.release();
     pumpSbWaiters();
+    maybeNotifyDrain();
 }
 
 void
@@ -73,11 +103,8 @@ L1Controller::pumpSbWaiters()
     // re-queues itself — at that point the buffer is full again, so a
     // future release is guaranteed to pump it.
     std::uint32_t budget = sb_.freeEntries();
-    while (budget-- > 0 && !sbWaiters_.empty()) {
-        EventFn fn = std::move(sbWaiters_.front());
-        sbWaiters_.pop_front();
-        engine_.schedule(1, std::move(fn));
-    }
+    while (budget-- > 0 && !sbWaiters_.empty())
+        engine_.schedule(1, sbWaiters_.take_front());
 }
 
 void
@@ -85,11 +112,8 @@ L1Controller::pumpMshrWaiters()
 {
     std::uint32_t budget = static_cast<std::uint32_t>(
         mshr_.full() ? 0 : params_.l1Mshrs - mshr_.inFlight());
-    while (budget-- > 0 && !mshrWaiters_.empty()) {
-        EventFn fn = std::move(mshrWaiters_.front());
-        mshrWaiters_.pop_front();
-        engine_.schedule(1, std::move(fn));
-    }
+    while (budget-- > 0 && !mshrWaiters_.empty())
+        engine_.schedule(1, mshrWaiters_.take_front());
 }
 
 void
@@ -130,7 +154,8 @@ L1Controller::retryLoadLine(Addr line, Pending* req)
 void
 L1Controller::load(const Addr* lines, std::uint32_t count, EventFn done)
 {
-    auto* req = new Pending{1, std::move(done)}; // +1 guard until loop ends
+    // +1 guard until the loop ends
+    Pending* req = pendingPool_.create(Pending{1, std::move(done)});
     for (std::uint32_t i = 0; i < count; ++i) {
         const Addr line = lines[i];
         if (tags_.lookup(line) != LineState::Invalid) {
@@ -151,10 +176,8 @@ L1Controller::load(const Addr* lines, std::uint32_t count, EventFn done)
     if (req->remaining == 1) {
         // Everything hit: complete after the L1 hit latency.
         req->remaining = 0; // ownership moves to the scheduled event
-        engine_.schedule(params_.l1HitLatency, [req] {
-            req->done();
-            delete req;
-        });
+        engine_.schedule(params_.l1HitLatency,
+                         [this, req] { retire(req); });
     } else {
         finishOne(req);
     }
@@ -164,7 +187,7 @@ void
 L1Controller::store(const Addr* lines, std::uint32_t count, EventFn done)
 {
     ++stats_.stores;
-    auto* req = new Pending{1, std::move(done)};
+    Pending* req = pendingPool_.create(Pending{1, std::move(done)});
     stepStore(lines, count, 0, req);
 }
 
@@ -217,24 +240,23 @@ L1Controller::stepStore(const Addr* lines, std::uint32_t count,
             sb_.acquire();
             ++pendingStoreFills_;
             l2_.getOwnership(smId_, line, [this, line] {
-                releaseSb();
+                // Decrement before releaseSb so its drain check sees the
+                // fully updated state.
                 --pendingStoreFills_;
+                releaseSb();
                 fillLine(line, LineState::Owned);
             });
         }
         ++idx;
     }
     // Acceptance: the warp resumes next cycle; fills complete in background.
-    engine_.schedule(1, [req] {
-        req->done();
-        delete req;
-    });
+    engine_.schedule(1, [this, req] { retire(req); });
 }
 
 void
 L1Controller::atomic(const Addr* words, std::uint32_t count, EventFn done)
 {
-    auto* req = new Pending{count, std::move(done)};
+    Pending* req = pendingPool_.create(Pending{count, std::move(done)});
     for (std::uint32_t i = 0; i < count; ++i) {
         if (coh_ == CoherenceKind::Gpu)
             stepGpuAtomic(words[i], req);
@@ -322,27 +344,22 @@ L1Controller::acquireInvalidate(EventFn done)
 void
 L1Controller::releaseFlush(EventFn done)
 {
-    auto* req = new Pending{1, std::move(done)};
+    Pending* req = pendingPool_.create(Pending{1, std::move(done)});
     if (coh_ == CoherenceKind::Gpu) {
-        const std::vector<Addr> dirty = tags_.collectLines(LineState::Dirty);
-        stats_.flushedLines += dirty.size();
+        flushScratch_.clear();
+        tags_.collectLines(LineState::Dirty, flushScratch_);
+        stats_.flushedLines += flushScratch_.size();
         tags_.cleanDirty();
-        req->remaining += static_cast<std::uint32_t>(dirty.size());
-        for (Addr line : dirty)
+        req->remaining += static_cast<std::uint32_t>(flushScratch_.size());
+        for (Addr line : flushScratch_)
             l2_.write(smId_, line, [this, req] { finishOne(req); });
     }
-    // Drop the guard by transitioning into the drain poll.
-    pollDrain(req);
-}
-
-void
-L1Controller::pollDrain(Pending* req)
-{
-    if (sb_.empty() && pendingStoreFills_ == 0) {
+    // Drop the guard when outstanding stores/atomics have drained: either
+    // right away, or when the last release/fill notifies the waiter list.
+    if (drained())
         finishOne(req);
-        return;
-    }
-    engine_.schedule(8, [this, req] { pollDrain(req); });
+    else
+        drainWaiters_.push_back(req);
 }
 
 void
@@ -355,6 +372,7 @@ L1Controller::onRecall(Addr line)
 void
 L1Controller::beginKernel()
 {
+    GGA_ASSERT(drainWaiters_.empty(), "release flush pending across kernels");
     l1WordFree_.clear();
     atomicUnitFree_ = 0;
 }

@@ -10,14 +10,20 @@
  * directory, possibly forwarded from a remote owner L1); owned lines are
  * neither invalidated at acquires nor flushed at releases; atomics on
  * owned lines execute locally at the L1.
+ *
+ * Hot-path storage: per-request Pending blocks come from a freelist pool,
+ * stalled continuations wait in ring buffers, and per-word serialization
+ * state lives in an open-addressing FlatMap — a memory instruction in
+ * steady state touches no allocator. Release flushes complete via drain
+ * notification (the last outstanding store/atomic wakes them) rather
+ * than by polling every few cycles.
  */
 
 #ifndef GGA_SIM_L1_HPP
 #define GGA_SIM_L1_HPP
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "model/design_dims.hpp"
 #include "sim/cache.hpp"
@@ -26,6 +32,9 @@
 #include "sim/mshr.hpp"
 #include "sim/params.hpp"
 #include "sim/store_buffer.hpp"
+#include "support/flat_map.hpp"
+#include "support/object_pool.hpp"
+#include "support/ring_buffer.hpp"
 #include "support/types.hpp"
 
 namespace gga {
@@ -74,7 +83,9 @@ class L1Controller
     /**
      * Release: GPU flushes all dirty lines to L2 and waits for acks;
      * both protocols additionally drain the store buffer and pending
-     * ownership fills.
+     * ownership fills. Completion is event-driven — the flush is
+     * notified the moment the last outstanding store/atomic retires
+     * (not by polling on a cycle grid).
      */
     void releaseFlush(EventFn done);
 
@@ -93,7 +104,12 @@ class L1Controller
     const StoreBuffer& storeBuffer() const { return sb_; }
 
   private:
-    /** Multi-line request bookkeeping (heap; freed on completion). */
+    /**
+     * Multi-line request bookkeeping. Every load/store/atomic carries one
+     * Pending block for its lifetime; blocks come from a freelist pool
+     * (pendingPool_) rather than new/delete, so the per-memory-op hot
+     * path performs no heap traffic.
+     */
     struct Pending
     {
         std::uint32_t remaining = 0;
@@ -101,6 +117,8 @@ class L1Controller
     };
 
     void finishOne(Pending* req);
+    /** Run req->done and recycle the block into the pool. */
+    void retire(Pending* req);
     void fillLine(Addr line, LineState st);
     void startLoadFill(Addr line, Pending* req);
     void retryLoadLine(Addr line, Pending* req);
@@ -109,7 +127,9 @@ class L1Controller
     void stepGpuAtomic(Addr word, Pending* req);
     void stepDeNovoAtomic(Addr word, Pending* req);
     void insertLine(Addr line, LineState st);
-    void pollDrain(Pending* req);
+    bool drained() const;
+    /** Complete release flushes once the drain condition holds. */
+    void maybeNotifyDrain();
     void releaseSb();
     void pumpSbWaiters();
     void pumpMshrWaiters();
@@ -128,14 +148,22 @@ class L1Controller
     SetAssocCache tags_;
     MshrTable mshr_;
     StoreBuffer sb_;
+    /** Freelist pool backing the per-request Pending blocks. */
+    ObjectPool<Pending> pendingPool_;
     /** DeNovo: per-word serialization of local L1 atomics. */
-    std::unordered_map<Addr, Cycles> l1WordFree_;
+    FlatMap<Addr, Cycles> l1WordFree_;
     /** DeNovo: the L1 atomic unit retires one word per service interval. */
     Cycles atomicUnitFree_ = 0;
     std::uint32_t pendingStoreFills_ = 0;
     /** Continuations stalled on store-buffer / MSHR capacity. */
-    std::deque<EventFn> sbWaiters_;
-    std::deque<EventFn> mshrWaiters_;
+    RingBuffer<EventFn> sbWaiters_;
+    RingBuffer<EventFn> mshrWaiters_;
+    /** Scratch for MSHR completion waiters (reused across fills). */
+    std::vector<EventFn> fillScratch_;
+    /** Release flushes waiting for the store buffer/fills to drain. */
+    std::vector<Pending*> drainWaiters_;
+    /** Scratch for dirty-line collection at releases (reused). */
+    std::vector<Addr> flushScratch_;
     L1Stats stats_;
 
     static constexpr Cycles kRetryInterval = 4;

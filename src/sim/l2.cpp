@@ -80,12 +80,12 @@ L2System::read(std::uint32_t sm_id, Addr line, EventFn done)
     const Cycles start = occupyBank(bank, arrival, params_.l2ServiceInterval);
 
     Cycles data_at_bank;
-    const auto it = owner_.find(line);
-    if (it != owner_.end() && it->second != sm_id) {
+    const std::uint32_t* owner = owner_.find(line);
+    if (owner != nullptr && *owner != sm_id) {
         // Remote L1 owns the line: forward through the owner. Ownership is
         // unchanged by reads (DeNovo GetV).
         ++stats_.forwards;
-        const std::uint32_t owner_node = noc_.smNode(it->second);
+        const std::uint32_t owner_node = noc_.smNode(*owner);
         data_at_bank = start + params_.l2BankLatency +
                        noc_.latency(noc_.bankNode(b), owner_node) +
                        params_.l1HitLatency +
@@ -173,10 +173,10 @@ L2System::getOwnership(std::uint32_t sm_id, Addr line, EventFn done)
     const Cycles svc = std::max(start, own_free);
 
     Cycles resp;
-    const auto it = owner_.find(line);
-    if (it != owner_.end() && it->second != sm_id) {
+    const std::uint32_t* owner = owner_.find(line);
+    if (owner != nullptr && *owner != sm_id) {
         ++stats_.forwards;
-        const std::uint32_t prev_owner = it->second;
+        const std::uint32_t prev_owner = *owner;
         const std::uint32_t owner_node = noc_.smNode(prev_owner);
         // Invalidate the previous owner when the recall message lands.
         const Cycles recall_at =
@@ -189,7 +189,7 @@ L2System::getOwnership(std::uint32_t sm_id, Addr line, EventFn done)
                                });
         resp = recall_at + params_.l1HitLatency +
                noc_.latency(owner_node, noc_.smNode(sm_id));
-    } else if (it != owner_.end()) {
+    } else if (owner != nullptr) {
         // Re-registration by the same SM (e.g. after a local race); ack.
         resp = svc + params_.l2BankLatency +
                noc_.latency(noc_.bankNode(b), noc_.smNode(sm_id));
@@ -206,10 +206,10 @@ L2System::getOwnership(std::uint32_t sm_id, Addr line, EventFn done)
 void
 L2System::releaseOwnership(std::uint32_t sm_id, Addr line)
 {
-    const auto it = owner_.find(line);
-    if (it == owner_.end() || it->second != sm_id)
+    const std::uint32_t* owner = owner_.find(line);
+    if (owner == nullptr || *owner != sm_id)
         return; // already recalled or transferred
-    owner_.erase(it);
+    owner_.erase(line);
     ++stats_.ownerWritebacks;
 
     const std::uint32_t b = bankOf(line);
@@ -232,10 +232,10 @@ L2System::releaseOwnership(std::uint32_t sm_id, Addr line)
 std::optional<std::uint32_t>
 L2System::ownerOf(Addr line) const
 {
-    const auto it = owner_.find(line);
-    if (it == owner_.end())
+    const std::uint32_t* owner = owner_.find(line);
+    if (owner == nullptr)
         return std::nullopt;
-    return it->second;
+    return *owner;
 }
 
 void

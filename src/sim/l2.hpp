@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/cache.hpp"
@@ -23,6 +22,7 @@
 #include "sim/engine.hpp"
 #include "sim/noc.hpp"
 #include "sim/params.hpp"
+#include "support/flat_map.hpp"
 #include "support/types.hpp"
 
 namespace gga {
@@ -93,9 +93,9 @@ class L2System
         Cycles atomicNextFree = 0;
         SetAssocCache tags;
         /** Per-word serialization of atomics at this bank's atomic unit. */
-        std::unordered_map<Addr, Cycles> wordNextFree;
+        FlatMap<Addr, Cycles> wordNextFree;
         /** Per-line serialization of ownership handoffs. */
-        std::unordered_map<Addr, Cycles> ownershipNextFree;
+        FlatMap<Addr, Cycles> ownershipNextFree;
     };
 
     std::uint32_t bankOf(Addr line) const;
@@ -120,7 +120,8 @@ class L2System
 
     std::vector<Bank> banks_;
     std::vector<Cycles> smPortFree_;
-    std::unordered_map<Addr, std::uint32_t> owner_;
+    /** DeNovo registration directory: line -> owning SM. */
+    FlatMap<Addr, std::uint32_t> owner_;
     RecallFn recall_;
     L2Stats stats_;
 };

@@ -31,6 +31,9 @@ struct MemStats
     std::uint64_t l1Retries = 0; ///< MSHR/SB-full retry events
     std::uint64_t l2ReadLagSum = 0;
     std::uint64_t l2AtomicLagSum = 0;
+
+    /** Field-wise equality (determinism/golden-parity tests). */
+    bool operator==(const MemStats&) const = default;
 };
 
 } // namespace gga

@@ -2,16 +2,22 @@
  * @file
  * Miss Status Holding Registers: outstanding line fills with waiter
  * merging. A full table back-pressures the core (Data stalls).
+ *
+ * Hot-path storage: entries live in an open-addressing FlatMap (no
+ * per-miss node allocation) and the per-entry waiter vectors are
+ * recycled through a spare list, so steady-state misses allocate
+ * nothing.
  */
 
 #ifndef GGA_SIM_MSHR_HPP
 #define GGA_SIM_MSHR_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "support/flat_map.hpp"
 #include "support/types.hpp"
 
 namespace gga {
@@ -35,11 +41,14 @@ enum class MshrAdd : std::uint8_t
 class MshrTable
 {
   public:
-    explicit MshrTable(std::uint32_t capacity) : capacity_(capacity) {}
+    explicit MshrTable(std::uint32_t capacity) : capacity_(capacity)
+    {
+        entries_.reserve(capacity);
+    }
 
     bool full() const { return entries_.size() >= capacity_; }
 
-    bool isPending(Addr line) const { return entries_.count(line) != 0; }
+    bool isPending(Addr line) const { return entries_.contains(line); }
 
     std::size_t inFlight() const { return entries_.size(); }
 
@@ -53,17 +62,17 @@ class MshrTable
     MshrAdd
     addWaiter(Addr line, FillKind kind, EventFn waiter)
     {
-        auto it = entries_.find(line);
-        if (it == entries_.end()) {
-            Entry& e = entries_[line];
-            e.kind = kind;
-            e.waiters.push_back(std::move(waiter));
-            return MshrAdd::NewEntry;
+        if (Entry* e = entries_.find(line)) {
+            if (kind == FillKind::Ownership && e->kind == FillKind::Data)
+                return MshrAdd::Conflict;
+            e->waiters.push_back(std::move(waiter));
+            return MshrAdd::Merged;
         }
-        if (kind == FillKind::Ownership && it->second.kind == FillKind::Data)
-            return MshrAdd::Conflict;
-        it->second.waiters.push_back(std::move(waiter));
-        return MshrAdd::Merged;
+        Entry& e = entries_[line];
+        e.kind = kind;
+        e.waiters = takeSpareVec();
+        e.waiters.push_back(std::move(waiter));
+        return MshrAdd::NewEntry;
     }
 
     /**
@@ -74,26 +83,36 @@ class MshrTable
     void
     addRetryOnFill(Addr line, EventFn fn)
     {
-        auto it = entries_.find(line);
-        if (it != entries_.end())
-            it->second.waiters.push_back(std::move(fn));
+        if (Entry* e = entries_.find(line))
+            e->waiters.push_back(std::move(fn));
         else
             fn(); // fill already landed; retry immediately
     }
 
     /**
-     * Complete the fill of @p line; returns the waiters to invoke.
-     * The entry is removed before waiters run.
+     * Complete the fill of @p line, appending its waiters to @p out. The
+     * entry is removed (and its storage recycled) before waiters run.
      */
+    void
+    complete(Addr line, std::vector<EventFn>& out)
+    {
+        Entry* e = entries_.find(line);
+        if (e == nullptr)
+            return;
+        for (EventFn& fn : e->waiters)
+            out.push_back(std::move(fn));
+        e->waiters.clear();
+        recycleVec(std::move(e->waiters));
+        entries_.erase(line);
+    }
+
+    /** Convenience overload returning the waiters (tests). */
     std::vector<EventFn>
     complete(Addr line)
     {
-        auto it = entries_.find(line);
-        if (it == entries_.end())
-            return {};
-        std::vector<EventFn> waiters = std::move(it->second.waiters);
-        entries_.erase(it);
-        return waiters;
+        std::vector<EventFn> out;
+        complete(line, out);
+        return out;
     }
 
   private:
@@ -103,7 +122,26 @@ class MshrTable
         std::vector<EventFn> waiters;
     };
 
-    std::unordered_map<Addr, Entry> entries_;
+    std::vector<EventFn>
+    takeSpareVec()
+    {
+        if (spares_.empty())
+            return {};
+        std::vector<EventFn> v = std::move(spares_.back());
+        spares_.pop_back();
+        return v;
+    }
+
+    void
+    recycleVec(std::vector<EventFn>&& v)
+    {
+        if (spares_.size() < capacity_)
+            spares_.push_back(std::move(v));
+    }
+
+    FlatMap<Addr, Entry> entries_;
+    /** Emptied waiter vectors kept warm for the next miss. */
+    std::vector<std::vector<EventFn>> spares_;
     std::uint32_t capacity_;
 };
 

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * FlatMap: an open-addressing hash map for the simulator's hot paths
+ * (MSHR tables, the L2 ownership directory, per-word serialization
+ * windows). Replaces std::unordered_map where per-operation node
+ * allocation and pointer chasing dominate: storage is two flat arrays
+ * (control bytes + slots), probing is linear, and clear() keeps capacity
+ * so per-kernel resets are allocation-free.
+ *
+ * Deliberately minimal: no iterators and no rehash-stability guarantees —
+ * pointers returned by find()/operator[] are invalidated by any insertion.
+ * None of the simulator call sites iterate, so replacing unordered_map
+ * cannot change simulated behavior.
+ */
+
+#ifndef GGA_SUPPORT_FLAT_MAP_HPP
+#define GGA_SUPPORT_FLAT_MAP_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gga {
+
+/** Default FlatMap hash: mix the key's bits (identity hashes cluster). */
+template <typename K>
+struct FlatHash
+{
+    std::size_t
+    operator()(const K& k) const
+    {
+        static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                      "provide a custom hash for non-integral keys");
+        return static_cast<std::size_t>(
+            hashMix64(static_cast<std::uint64_t>(k)));
+    }
+};
+
+/**
+ * Open-addressing hash map with tombstone deletion. K must be integral
+ * (or provide a custom Hash); V must be default-constructible and
+ * move-assignable (move-only types are fine).
+ */
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    bool contains(const K& key) const { return find(key) != nullptr; }
+
+    /** Value pointer, or nullptr when absent. Invalidated by inserts. */
+    V*
+    find(const K& key)
+    {
+        if (ctrl_.empty())
+            return nullptr;
+        std::size_t i = probeStart(key);
+        while (true) {
+            const std::uint8_t c = ctrl_[i];
+            if (c == kEmpty)
+                return nullptr;
+            if (c == kFull && slots_[i].key == key)
+                return &slots_[i].val;
+            i = (i + 1) & mask();
+        }
+    }
+
+    const V*
+    find(const K& key) const
+    {
+        return const_cast<FlatMap*>(this)->find(key);
+    }
+
+    /** Value for @p key, default-constructed and inserted when absent. */
+    V&
+    operator[](const K& key)
+    {
+        reserveForOne();
+        std::size_t i = probeStart(key);
+        std::size_t first_tomb = kNoSlot;
+        while (true) {
+            const std::uint8_t c = ctrl_[i];
+            if (c == kFull && slots_[i].key == key)
+                return slots_[i].val;
+            if (c == kTomb && first_tomb == kNoSlot)
+                first_tomb = i;
+            if (c == kEmpty) {
+                if (first_tomb != kNoSlot) {
+                    i = first_tomb;
+                    --tombs_;
+                }
+                ctrl_[i] = kFull;
+                slots_[i].key = key;
+                slots_[i].val = V{};
+                ++size_;
+                return slots_[i].val;
+            }
+            i = (i + 1) & mask();
+        }
+    }
+
+    /** Remove @p key; returns whether it was present. Keeps capacity. */
+    bool
+    erase(const K& key)
+    {
+        if (ctrl_.empty())
+            return false;
+        std::size_t i = probeStart(key);
+        while (true) {
+            const std::uint8_t c = ctrl_[i];
+            if (c == kEmpty)
+                return false;
+            if (c == kFull && slots_[i].key == key) {
+                ctrl_[i] = kTomb;
+                slots_[i].val = V{}; // release held resources now
+                --size_;
+                ++tombs_;
+                return true;
+            }
+            i = (i + 1) & mask();
+        }
+    }
+
+    /** Drop all entries but keep the table's capacity. */
+    void
+    clear()
+    {
+        if constexpr (!std::is_trivially_destructible_v<V>) {
+            for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+                if (ctrl_[i] == kFull)
+                    slots_[i].val = V{};
+            }
+        }
+        std::fill(ctrl_.begin(), ctrl_.end(), kEmpty);
+        size_ = 0;
+        tombs_ = 0;
+    }
+
+    /** Pre-size the table for @p n entries without rehash churn. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = kMinCapacity;
+        while (cap * 3 < n * 4) // target load factor <= 3/4
+            cap *= 2;
+        if (cap > ctrl_.size())
+            rehash(cap);
+    }
+
+  private:
+    struct Slot
+    {
+        K key{};
+        V val{};
+    };
+
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kFull = 1;
+    static constexpr std::uint8_t kTomb = 2;
+    static constexpr std::size_t kMinCapacity = 16;
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+    std::size_t mask() const { return ctrl_.size() - 1; }
+
+    std::size_t
+    probeStart(const K& key) const
+    {
+        return Hash{}(key) & mask();
+    }
+
+    /** Grow (or compact tombstones) so one more insert keeps load < 3/4. */
+    void
+    reserveForOne()
+    {
+        if (ctrl_.empty()) {
+            rehash(kMinCapacity);
+            return;
+        }
+        if ((size_ + tombs_ + 1) * 4 > ctrl_.size() * 3) {
+            // Double only when live entries need it; otherwise the table
+            // is mostly tombstones and an in-place-sized rehash compacts.
+            const std::size_t cap = (size_ + 1) * 4 > ctrl_.size() * 3
+                                        ? ctrl_.size() * 2
+                                        : ctrl_.size();
+            rehash(cap);
+        }
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+        std::vector<Slot> old_slots = std::move(slots_);
+        ctrl_.assign(new_cap, kEmpty);
+        slots_.clear();
+        slots_.resize(new_cap);
+        tombs_ = 0;
+        for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+            if (old_ctrl[i] != kFull)
+                continue;
+            std::size_t j = probeStart(old_slots[i].key);
+            while (ctrl_[j] == kFull)
+                j = (j + 1) & mask();
+            ctrl_[j] = kFull;
+            slots_[j].key = old_slots[i].key;
+            slots_[j].val = std::move(old_slots[i].val);
+        }
+    }
+
+    std::vector<std::uint8_t> ctrl_;
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::size_t tombs_ = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_FLAT_MAP_HPP

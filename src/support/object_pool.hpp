@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ObjectPool: a chunked freelist allocator for the simulator's transient
+ * per-request bookkeeping blocks (e.g. the L1's Pending records, one per
+ * in-flight load/store/atomic). create()/destroy() replace new/delete on
+ * the hot path: freed objects are recycled in LIFO order from chunks the
+ * pool owns, so steady-state operation performs no heap traffic at all.
+ */
+
+#ifndef GGA_SUPPORT_OBJECT_POOL_HPP
+#define GGA_SUPPORT_OBJECT_POOL_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+/**
+ * Freelist pool of T. Objects must be destroyed through destroy() before
+ * the pool dies; destruction order among live objects is unconstrained.
+ */
+template <typename T>
+class ObjectPool
+{
+  public:
+    ObjectPool() = default;
+    ObjectPool(const ObjectPool&) = delete;
+    ObjectPool& operator=(const ObjectPool&) = delete;
+
+    ~ObjectPool()
+    {
+        GGA_ASSERT(live_ == 0, "object pool destroyed with ", live_,
+                   " objects still live");
+    }
+
+    /** Construct a T in recycled (or freshly chunked) storage. */
+    template <typename... Args>
+    T*
+    create(Args&&... args)
+    {
+        if (freeHead_ == nullptr)
+            grow();
+        Node* node = freeHead_;
+        freeHead_ = node->next;
+        ++live_;
+        return ::new (node->storage) T(std::forward<Args>(args)...);
+    }
+
+    /** Destroy @p obj and recycle its storage. */
+    void
+    destroy(T* obj)
+    {
+        obj->~T();
+        Node* node = reinterpret_cast<Node*>(
+            reinterpret_cast<unsigned char*>(obj) -
+            offsetof(Node, storage));
+        node->next = freeHead_;
+        freeHead_ = node;
+        GGA_ASSERT(live_ > 0, "object pool double free");
+        --live_;
+    }
+
+    /** Objects currently live (diagnostics). */
+    std::size_t live() const { return live_; }
+
+  private:
+    struct Node
+    {
+        alignas(T) unsigned char storage[sizeof(T)];
+        Node* next = nullptr;
+    };
+
+    void
+    grow()
+    {
+        // Chunks double from 64 up to a cap; each chunk's nodes are
+        // threaded onto the freelist in order.
+        const std::size_t count = nextChunkSize_;
+        nextChunkSize_ = std::min<std::size_t>(count * 2, 4096);
+        chunks_.push_back(std::make_unique<Node[]>(count));
+        Node* nodes = chunks_.back().get();
+        for (std::size_t i = count; i-- > 0;) {
+            nodes[i].next = freeHead_;
+            freeHead_ = &nodes[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<Node[]>> chunks_;
+    std::size_t nextChunkSize_ = 64;
+    Node* freeHead_ = nullptr;
+    std::size_t live_ = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_OBJECT_POOL_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * RingBuffer: a growable circular FIFO used for the L1's stalled-request
+ * waiter queues. Replaces std::deque on the hot path: one contiguous
+ * power-of-two allocation, no per-block heap traffic, and push/pop are a
+ * masked index bump. Grows by doubling (moving elements into FIFO order),
+ * so steady-state operation never allocates.
+ */
+
+#ifndef GGA_SUPPORT_RING_BUFFER_HPP
+#define GGA_SUPPORT_RING_BUFFER_HPP
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+/** Move-friendly FIFO over a circular power-of-two array. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == capacity_)
+            grow();
+        data_[(head_ + size_) & (capacity_ - 1)] = std::move(value);
+        ++size_;
+    }
+
+    T&
+    front()
+    {
+        GGA_ASSERT(size_ > 0, "front() on empty ring buffer");
+        return data_[head_];
+    }
+
+    void
+    pop_front()
+    {
+        GGA_ASSERT(size_ > 0, "pop_front() on empty ring buffer");
+        data_[head_] = T{}; // release held resources now
+        head_ = (head_ + 1) & (capacity_ - 1);
+        --size_;
+    }
+
+    /** Move the front element out and pop it. */
+    T
+    take_front()
+    {
+        GGA_ASSERT(size_ > 0, "take_front() on empty ring buffer");
+        T out = std::move(data_[head_]);
+        head_ = (head_ + 1) & (capacity_ - 1);
+        --size_;
+        return out;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t new_cap = capacity_ == 0 ? 16 : capacity_ * 2;
+        auto fresh = std::make_unique<T[]>(new_cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            fresh[i] = std::move(data_[(head_ + i) & (capacity_ - 1)]);
+        data_ = std::move(fresh);
+        capacity_ = new_cap;
+        head_ = 0;
+    }
+
+    std::unique_ptr<T[]> data_;
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_RING_BUFFER_HPP

@@ -5,17 +5,6 @@
 namespace gga {
 
 std::uint64_t
-hashMix64(std::uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ull;
-    x ^= x >> 33;
-    return x;
-}
-
-std::uint64_t
 hashCombine(std::uint64_t a, std::uint64_t b)
 {
     return hashMix64(a * 0x9e3779b97f4a7c15ull + b + 0x7f4a7c159e3779b9ull);

@@ -37,8 +37,21 @@ class SplitMix64
     std::uint64_t state_;
 };
 
-/** Stateless 64-bit mix of a value; used for deterministic per-edge data. */
-std::uint64_t hashMix64(std::uint64_t x);
+/**
+ * Stateless 64-bit mix of a value; used for deterministic per-edge data
+ * and as the hash of the simulator's hot-path tables. Inline: it runs on
+ * every cache-set, bank, and FlatMap probe.
+ */
+inline std::uint64_t
+hashMix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
 
 /** Combine two ids into one deterministic hash (order-sensitive). */
 std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Golden-parity determinism suite for the simulator substrate.
+ *
+ * For every application x a GPU-coherence and a DeNovo config, run the
+ * workload twice on the DCT preset at scale 0.1 and assert that
+ *
+ *   1. simulated cycles, processed events, and the full MemStats are
+ *      bit-identical run-to-run (the engine replays deterministically),
+ *   2. they match the pre-recorded golden values below, so changes to the
+ *      event engine or the memory-system hot path that alter simulated
+ *      behavior — rather than just host throughput — are caught at once.
+ *
+ * The suite pins scale explicitly (plan.scale(0.1)), so it is independent
+ * of the GGA_SCALE environment ctest sets.
+ *
+ * Regenerating goldens after an intentional model change:
+ *   GGA_DETERMINISM_PRINT=1 ./build/test_determinism
+ * prints the kGolden table rows to paste below.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.hpp"
+#include "model/config.hpp"
+#include "sim/mem_stats.hpp"
+
+namespace gga {
+namespace {
+
+constexpr double kScale = 0.1;
+
+struct Golden
+{
+    AppId app;
+    const char* cfg;
+    Cycles cycles;
+    std::uint64_t events;
+    MemStats mem;
+};
+
+const char*
+appTag(AppId a)
+{
+    switch (a) {
+      case AppId::Pr: return "Pr";
+      case AppId::Sssp: return "Sssp";
+      case AppId::Mis: return "Mis";
+      case AppId::Clr: return "Clr";
+      case AppId::Bc: return "Bc";
+      case AppId::Cc: return "Cc";
+    }
+    return "?";
+}
+
+/**
+ * The covered design-space pairs: one GPU-coherence and one DeNovo config
+ * per app, spanning push and pull as well as DRF0 and DRFrlx. CC is a
+ * dynamic-traversal app and only accepts PushPull ('D') configs.
+ */
+std::vector<std::pair<AppId, const char*>>
+coveredPairs()
+{
+    std::vector<std::pair<AppId, const char*>> pairs;
+    for (AppId app : {AppId::Pr, AppId::Sssp, AppId::Mis, AppId::Clr,
+                      AppId::Bc}) {
+        pairs.emplace_back(app, "TG0");
+        pairs.emplace_back(app, "SDR");
+    }
+    pairs.emplace_back(AppId::Cc, "DG0");
+    pairs.emplace_back(AppId::Cc, "DDR");
+    return pairs;
+}
+
+RunOutcome
+runOnce(Session& session, AppId app, const char* cfg)
+{
+    return session.run(RunPlan{}
+                           .app(app)
+                           .graph(GraphPreset::Dct)
+                           .scale(kScale)
+                           .config(cfg)
+                           .collectOutputs(false));
+}
+
+void
+printRow(const RunOutcome& out, AppId app, const char* cfg)
+{
+    const MemStats& m = out.result.mem;
+    std::printf("    {AppId::%s, \"%s\", %lluull, %lluull,\n"
+                "     {%llu, %llu, %llu, %llu, %llu, %llu, %llu, %llu, %llu, "
+                "%llu, %llu, %llu, %llu, %llu, %llu, %llu, %llu, %llu}},\n",
+                appTag(app), cfg,
+                static_cast<unsigned long long>(out.result.cycles),
+                static_cast<unsigned long long>(out.result.events),
+                static_cast<unsigned long long>(m.l1LoadHits),
+                static_cast<unsigned long long>(m.l1LoadMisses),
+                static_cast<unsigned long long>(m.l1Stores),
+                static_cast<unsigned long long>(m.l1AtomicHits),
+                static_cast<unsigned long long>(m.ownershipRequests),
+                static_cast<unsigned long long>(m.ownershipForwards),
+                static_cast<unsigned long long>(m.l2Atomics),
+                static_cast<unsigned long long>(m.l2Reads),
+                static_cast<unsigned long long>(m.l2ReadMisses),
+                static_cast<unsigned long long>(m.l2Writes),
+                static_cast<unsigned long long>(m.flushedLines),
+                static_cast<unsigned long long>(m.acquireInvalidatedLines),
+                static_cast<unsigned long long>(m.recalls),
+                static_cast<unsigned long long>(m.dramReads),
+                static_cast<unsigned long long>(m.dramWrites),
+                static_cast<unsigned long long>(m.l1Retries),
+                static_cast<unsigned long long>(m.l2ReadLagSum),
+                static_cast<unsigned long long>(m.l2AtomicLagSum));
+}
+
+/**
+ * Golden values recorded for this repository state (DCT preset, scale
+ * 0.1). MemStats field order: l1LoadHits, l1LoadMisses, l1Stores,
+ * l1AtomicHits, ownershipRequests, ownershipForwards, l2Atomics, l2Reads,
+ * l2ReadMisses, l2Writes, flushedLines, acquireInvalidatedLines, recalls,
+ * dramReads, dramWrites, l1Retries, l2ReadLagSum, l2AtomicLagSum.
+ */
+const std::vector<Golden>&
+goldens()
+{
+    static const std::vector<Golden> kGolden = {
+        // GGA_DETERMINISM_GOLDENS_BEGIN
+    {AppId::Pr, "TG0", 144618ull, 244049ull,
+     {118095, 121498, 5115, 0, 0, 0, 0, 76618, 1736, 13530, 12662, 38000, 0, 1736, 116, 75742, 16797349, 0}},
+    {AppId::Pr, "SDR", 265760ull, 406694ull,
+     {68619, 41582, 3465, 172430, 29511, 17483, 0, 36909, 2758, 0, 0, 12527, 15690, 2758, 162, 78245, 10238248, 0}},
+    {AppId::Sssp, "TG0", 290838ull, 456305ull,
+     {184383, 248825, 1731, 0, 0, 0, 0, 172058, 4840, 6144, 4530, 30086, 0, 4840, 150, 200243, 40661713, 0}},
+    {AppId::Sssp, "SDR", 93335ull, 170197ull,
+     {27830, 32257, 3835, 32314, 15453, 9543, 0, 30502, 3722, 0, 0, 8496, 6842, 3722, 78, 45952, 8963930, 0}},
+    {AppId::Mis, "TG0", 47579ull, 85263ull,
+     {32883, 40261, 1700, 0, 0, 0, 0, 29179, 1589, 4405, 4181, 16962, 0, 1589, 118, 26140, 6138063, 0}},
+    {AppId::Mis, "SDR", 51612ull, 93281ull,
+     {14363, 14366, 969, 26305, 7774, 5625, 0, 12762, 2894, 0, 0, 8376, 3978, 2894, 64, 16021, 2994886, 0}},
+    {AppId::Clr, "TG0", 214151ull, 335059ull,
+     {145997, 154055, 6627, 0, 0, 0, 0, 120237, 1579, 11597, 10282, 65032, 0, 1579, 53, 89047, 24075420, 0}},
+    {AppId::Clr, "SDR", 252337ull, 352508ull,
+     {81857, 56977, 4188, 107861, 20411, 14642, 0, 52856, 2593, 0, 0, 32402, 11213, 2593, 59, 53094, 12010054, 0}},
+    {AppId::Bc, "TG0", 96952ull, 158568ull,
+     {68494, 78932, 1963, 0, 0, 0, 0, 58620, 1637, 8366, 6740, 28603, 0, 1637, 573, 40581, 12065616, 0}},
+    {AppId::Bc, "SDR", 96080ull, 156168ull,
+     {41883, 45744, 3306, 13536, 13800, 9332, 0, 39417, 5105, 0, 0, 22613, 3758, 5105, 925, 31945, 9610232, 0}},
+    {AppId::Cc, "DG0", 159064ull, 192021ull,
+     {2, 13344, 330, 0, 0, 0, 80709, 12868, 1414, 392, 392, 13525, 0, 1414, 0, 61634, 3217766, 18300345}},
+    {AppId::Cc, "DDR", 98704ull, 130489ull,
+     {5385, 7961, 330, 75253, 12073, 9783, 0, 7546, 1744, 0, 0, 1533, 9783, 1744, 0, 1508, 1329936, 0}},
+        // GGA_DETERMINISM_GOLDENS_END
+    };
+    return kGolden;
+}
+
+TEST(Determinism, RunToRunAndGoldenParity)
+{
+    const bool print_mode = std::getenv("GGA_DETERMINISM_PRINT") != nullptr;
+    Session session;
+
+    for (const auto& [app, cfg] : coveredPairs()) {
+        SCOPED_TRACE(std::string(appTag(app)) + " @ " + cfg);
+        const RunOutcome first = runOnce(session, app, cfg);
+        const RunOutcome second = runOnce(session, app, cfg);
+
+        // Run-to-run: the engine must replay bit-identically.
+        EXPECT_EQ(first.result.cycles, second.result.cycles);
+        EXPECT_EQ(first.result.events, second.result.events);
+        EXPECT_TRUE(first.result.mem == second.result.mem);
+        EXPECT_EQ(first.result.kernels, second.result.kernels);
+
+        if (print_mode) {
+            printRow(first, app, cfg);
+            continue;
+        }
+
+        // Golden parity: match the pre-recorded substrate behavior.
+        const Golden* golden = nullptr;
+        for (const Golden& g : goldens()) {
+            if (g.app == app && std::string(g.cfg) == cfg) {
+                golden = &g;
+                break;
+            }
+        }
+        ASSERT_NE(golden, nullptr) << "no golden row recorded";
+        EXPECT_EQ(first.result.cycles, golden->cycles);
+        EXPECT_EQ(first.result.events, golden->events);
+        if (!(first.result.mem == golden->mem)) {
+            ADD_FAILURE() << "MemStats mismatch; regenerate with "
+                             "GGA_DETERMINISM_PRINT=1 if intentional:";
+            printRow(first, app, cfg);
+        }
+    }
+}
+
+} // namespace
+} // namespace gga

@@ -4,6 +4,8 @@
  * breaking, reentrancy, and monotonic time.
  */
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -72,6 +74,93 @@ TEST(Engine, CountsProcessedEvents)
         e.schedule(i, [] {});
     e.run();
     EXPECT_EQ(e.processedEvents(), 5u);
+}
+
+TEST(Engine, FarDelaysCrossWheelLevels)
+{
+    // One event per wheel level plus the far list, scheduled out of
+    // order; they must still run in time order.
+    Engine e;
+    std::vector<int> order;
+    e.schedule(1ull << 31, [&order] { order.push_back(4); }); // far list
+    e.schedule(1ull << 21, [&order] { order.push_back(3); }); // level 2
+    e.schedule(1ull << 11, [&order] { order.push_back(2); }); // level 1
+    e.schedule(1, [&order] { order.push_back(1); });          // level 0
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(e.now(), 1ull << 31);
+}
+
+TEST(Engine, TiesBreakInScheduleOrderAcrossLevels)
+{
+    // Same-time events inserted while the target sits at different wheel
+    // levels (far vs direct) must still run in schedule order after
+    // cascading.
+    Engine e;
+    std::vector<int> order;
+    const Cycles t = (1ull << 21) + 5; // starts out on level 2
+    e.scheduleAt(t, [&order] { order.push_back(0); });
+    e.scheduleAt(t, [&order] { order.push_back(1); });
+    // An earlier event close to t schedules two more at exactly t once
+    // the time wheel has advanced near it (direct level-0 insert).
+    e.scheduleAt(t - 1, [&e, &order] {
+        e.schedule(1, [&order] { order.push_back(2); });
+        e.schedule(1, [&order] { order.push_back(3); });
+    });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, SparseTimelineAdvancesMonotonically)
+{
+    // Events separated by wide empty gaps; now() must hit each exactly.
+    Engine e;
+    std::vector<Cycles> seen;
+    for (const Cycles t :
+         {Cycles{3}, Cycles{1500}, Cycles{1u << 20}, Cycles{1u << 22},
+          (Cycles{1} << 30) + 17, (Cycles{1} << 41) + 1}) {
+        e.scheduleAt(t, [&e, &seen] { seen.push_back(e.now()); });
+    }
+    e.run();
+    EXPECT_EQ(seen,
+              (std::vector<Cycles>{3, 1500, 1u << 20, 1u << 22,
+                                   (Cycles{1} << 30) + 17,
+                                   (Cycles{1} << 41) + 1}));
+}
+
+TEST(Engine, InterleavedSchedulingMatchesReferenceOrder)
+{
+    // Randomized mix of delays spanning all levels, executed once on the
+    // wheel and once on a reference (time, seq) sort: identical order.
+    Engine e;
+    std::vector<int> wheel_order;
+    std::vector<std::pair<Cycles, int>> ref;
+    std::uint64_t state = 12345;
+    auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t r = next();
+        Cycles delay = 0;
+        switch (r % 5) {
+          case 0: delay = r % 3; break;            // 0..2
+          case 1: delay = r % 40; break;           // small
+          case 2: delay = 900 + r % 3000; break;   // level 1
+          case 3: delay = (1u << 20) + r % 99999; break;
+          default: delay = (Cycles{1} << 30) + r % 999; break;
+        }
+        ref.emplace_back(delay, i);
+        e.schedule(delay, [&wheel_order, i] { wheel_order.push_back(i); });
+    }
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+    e.run();
+    ASSERT_EQ(wheel_order.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(wheel_order[i], ref[i].second) << "position " << i;
 }
 
 } // namespace

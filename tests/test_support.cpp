@@ -1,13 +1,21 @@
 /**
  * @file
  * Unit tests for the support layer: RNG determinism and distributions,
- * statistics helpers, table rendering, inline function/vector.
+ * statistics helpers, table rendering, inline function/vector, and the
+ * hot-path containers (FlatMap, ObjectPool, RingBuffer).
  */
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "support/flat_map.hpp"
 #include "support/inline_function.hpp"
 #include "support/inline_vec.hpp"
+#include "support/object_pool.hpp"
+#include "support/ring_buffer.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -140,6 +148,121 @@ TEST(InlineFunction, ReturnsValues)
 {
     InlineFunction<int(int)> f([](int v) { return v * 2; });
     EXPECT_EQ(f(21), 42);
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    m[7] = 70;
+    m[8] = 80;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70);
+    EXPECT_EQ(m.find(9), nullptr);
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_FALSE(m.erase(7));
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_EQ(m.size(), 1u);
+    m[7] = 71; // reuses the tombstone
+    EXPECT_EQ(*m.find(7), 71);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderChurn)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Xoshiro256StarStar rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key = rng.nextBounded(512) * 64;
+        switch (rng.nextBounded(3)) {
+          case 0:
+            m[key] = key + 1;
+            ref[key] = key + 1;
+            break;
+          case 1:
+            EXPECT_EQ(m.erase(key), ref.erase(key) != 0);
+            break;
+          default: {
+            const auto it = ref.find(key);
+            const std::uint64_t* v = m.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, it->second);
+            }
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(m.size(), ref.size());
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(64), nullptr);
+}
+
+TEST(FlatMap, HoldsMoveOnlyValues)
+{
+    FlatMap<std::uint32_t, std::unique_ptr<int>> m;
+    m[3] = std::make_unique<int>(33);
+    ASSERT_NE(m.find(3), nullptr);
+    EXPECT_EQ(**m.find(3), 33);
+    EXPECT_TRUE(m.erase(3));
+}
+
+TEST(ObjectPool, RecyclesStorage)
+{
+    struct Rec
+    {
+        int a;
+        int b;
+    };
+    ObjectPool<Rec> pool;
+    Rec* x = pool.create(Rec{1, 2});
+    EXPECT_EQ(x->a, 1);
+    pool.destroy(x);
+    EXPECT_EQ(pool.live(), 0u);
+    Rec* y = pool.create(Rec{3, 4});
+    EXPECT_EQ(y, x); // LIFO recycling hands back the same block
+    // Exhaust well past one chunk.
+    std::vector<Rec*> live;
+    for (int i = 0; i < 500; ++i)
+        live.push_back(pool.create(Rec{i, i}));
+    EXPECT_EQ(pool.live(), 501u);
+    for (Rec* r : live)
+        pool.destroy(r);
+    pool.destroy(y);
+    EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(RingBuffer, FifoAcrossGrowth)
+{
+    RingBuffer<int> rb;
+    EXPECT_TRUE(rb.empty());
+    // Interleave pushes and pops so head wraps before growth.
+    for (int i = 0; i < 10; ++i)
+        rb.push_back(i);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+    for (int i = 0; i < 100; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rb.take_front(), i);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, MovesOutMoveOnlyElements)
+{
+    RingBuffer<InlineFunction<int()>> rb;
+    rb.push_back([] { return 1; });
+    rb.push_back([] { return 2; });
+    auto f = rb.take_front();
+    EXPECT_EQ(f(), 1);
+    EXPECT_EQ(rb.take_front()(), 2);
 }
 
 TEST(InlineVec, PushUniqueAndOverflowGuards)
