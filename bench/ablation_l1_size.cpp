@@ -7,13 +7,18 @@
  * workload whose gathers have reuse (MIS-OLS) shows the capacity cliff
  * the thresholds approximate.
  *
+ * The hardware points are enumerated as a work-unit manifest
+ * (Manifest::sweepParams) and executed on the session executor — every
+ * point in flight at once instead of a serial run() loop.
+ *
  * Usage: ablation_l1_size [--csv]
  */
 
 #include <cstring>
 #include <iostream>
+#include <vector>
 
-#include "api/session.hpp"
+#include "eval/run.hpp"
 #include "harness/workloads.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -26,38 +31,58 @@ main(int argc, char** argv)
 
     gga::SessionOptions opts;
     opts.scale = gga::evaluationScale();
-    opts.collectOutputs = false; // timing/memory counters only
     gga::Session session(opts);
+
+    const std::vector<std::uint32_t> l1_sizes = {8, 16, 32, 64, 128};
+
+    // One param-sweep group per (graph, config); the group's key list
+    // drives both result lookup and row order.
+    gga::Manifest manifest;
+    struct Group
+    {
+        gga::GraphPreset graph;
+        const char* config;
+        std::vector<std::string> keys;
+    };
+    std::vector<Group> groups;
+    for (gga::GraphPreset g : {gga::GraphPreset::Ols, gga::GraphPreset::Raj}) {
+        for (const char* cfg_name : {"TG0", "SDR"}) {
+            std::vector<gga::SimParams> points;
+            for (std::uint32_t l1 : l1_sizes) {
+                gga::SimParams params;
+                params.l1SizeKiB = l1;
+                points.push_back(params);
+            }
+            groups.push_back(
+                {g, cfg_name,
+                 manifest.sweepParams(gga::AppId::Mis, g,
+                                      gga::parseConfig(cfg_name), points,
+                                      opts.scale)});
+        }
+    }
+
+    const gga::ResultSet results = gga::runManifest(session, manifest);
 
     gga::TextTable table;
     table.setHeader({"Workload", "Config", "L1KiB", "Cycles", "Norm",
                      "L1MissRate"});
-
-    for (gga::GraphPreset g : {gga::GraphPreset::Ols, gga::GraphPreset::Raj}) {
-        for (const char* cfg_name : {"TG0", "SDR"}) {
-            double base = 0.0;
-            for (std::uint32_t l1 : {8u, 16u, 32u, 64u, 128u}) {
-                gga::SimParams params;
-                params.l1SizeKiB = l1;
-                const gga::RunResult r = session.run(gga::RunPlan{}
-                                                         .app(gga::AppId::Mis)
-                                                         .graph(g)
-                                                         .config(cfg_name)
-                                                         .params(params))
-                                             .result;
-                if (base == 0.0)
-                    base = static_cast<double>(r.cycles);
-                const double touches = static_cast<double>(
-                    r.mem.l1LoadHits + r.mem.l1LoadMisses);
-                table.addRow({"MIS-" + gga::presetName(g), cfg_name,
-                              std::to_string(l1), std::to_string(r.cycles),
-                              gga::fmtDouble(r.cycles / base, 3),
-                              gga::fmtPct(touches > 0
-                                              ? r.mem.l1LoadMisses / touches
-                                              : 0.0)});
-            }
-            table.addSeparator();
+    for (const Group& group : groups) {
+        double base = 0.0;
+        for (std::size_t i = 0; i < group.keys.size(); ++i) {
+            const gga::RunResult& r = results.at(group.keys[i]).run;
+            if (base == 0.0)
+                base = static_cast<double>(r.cycles);
+            const double touches = static_cast<double>(
+                r.mem.l1LoadHits + r.mem.l1LoadMisses);
+            table.addRow({"MIS-" + gga::presetName(group.graph),
+                          group.config, std::to_string(l1_sizes[i]),
+                          std::to_string(r.cycles),
+                          gga::fmtDouble(r.cycles / base, 3),
+                          gga::fmtPct(touches > 0
+                                          ? r.mem.l1LoadMisses / touches
+                                          : 0.0)});
         }
+        table.addSeparator();
     }
 
     std::cout << "Ablation: L1 capacity sensitivity\n"

@@ -7,13 +7,18 @@
  * 1 (equivalent to DRF1 ordering) to 64 shows where the MLP benefit
  * saturates, on an imbalanced (RAJ) and a balanced (OLS) input.
  *
+ * The hardware points are enumerated as a work-unit manifest
+ * (Manifest::sweepParams) and executed on the session executor — every
+ * point in flight at once instead of a serial run() loop.
+ *
  * Usage: ablation_mlp_window [--csv]
  */
 
 #include <cstring>
 #include <iostream>
+#include <vector>
 
-#include "api/session.hpp"
+#include "eval/run.hpp"
 #include "harness/workloads.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -26,33 +31,50 @@ main(int argc, char** argv)
 
     gga::SessionOptions opts;
     opts.scale = gga::evaluationScale();
-    opts.collectOutputs = false; // timing only
     gga::Session session(opts);
+
+    const std::vector<std::uint32_t> windows = {1, 2, 4, 8, 16, 32, 64};
+
+    gga::Manifest manifest;
+    struct Group
+    {
+        gga::GraphPreset graph;
+        const char* config;
+        std::vector<std::string> keys;
+    };
+    std::vector<Group> groups;
+    for (gga::GraphPreset g : {gga::GraphPreset::Raj, gga::GraphPreset::Ols}) {
+        for (const char* cfg_name : {"SGR", "SDR"}) {
+            std::vector<gga::SimParams> points;
+            for (std::uint32_t window : windows) {
+                gga::SimParams params;
+                params.relaxedAtomicWindow = window;
+                points.push_back(params);
+            }
+            groups.push_back(
+                {g, cfg_name,
+                 manifest.sweepParams(gga::AppId::Mis, g,
+                                      gga::parseConfig(cfg_name), points,
+                                      opts.scale)});
+        }
+    }
+
+    const gga::ResultSet results = gga::runManifest(session, manifest);
 
     gga::TextTable table;
     table.setHeader({"Workload", "Config", "Window", "Cycles", "Norm"});
-
-    for (gga::GraphPreset g : {gga::GraphPreset::Raj, gga::GraphPreset::Ols}) {
-        for (const char* cfg_name : {"SGR", "SDR"}) {
-            double base = 0.0;
-            for (std::uint32_t window : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-                gga::SimParams params;
-                params.relaxedAtomicWindow = window;
-                const gga::RunResult r = session.run(gga::RunPlan{}
-                                                         .app(gga::AppId::Mis)
-                                                         .graph(g)
-                                                         .config(cfg_name)
-                                                         .params(params))
-                                             .result;
-                if (base == 0.0)
-                    base = static_cast<double>(r.cycles);
-                table.addRow({"MIS-" + gga::presetName(g), cfg_name,
-                              std::to_string(window),
-                              std::to_string(r.cycles),
-                              gga::fmtDouble(r.cycles / base, 3)});
-            }
-            table.addSeparator();
+    for (const Group& group : groups) {
+        double base = 0.0;
+        for (std::size_t i = 0; i < group.keys.size(); ++i) {
+            const gga::RunResult& r = results.at(group.keys[i]).run;
+            if (base == 0.0)
+                base = static_cast<double>(r.cycles);
+            table.addRow({"MIS-" + gga::presetName(group.graph),
+                          group.config, std::to_string(windows[i]),
+                          std::to_string(r.cycles),
+                          gga::fmtDouble(r.cycles / base, 3)});
         }
+        table.addSeparator();
     }
 
     std::cout << "Ablation: relaxed-atomic window size (atomic MLP)\n"

@@ -9,9 +9,10 @@
  * time of the empirical BEST and the model-PREDicted configurations
  * across its six inputs.
  *
- * All 36 sweeps are submitted to one shared Session executor up front, so
- * the fan-out covers workloads *and* configurations; results are gathered
- * in paper order and are bit-identical to a serial run.
+ * The whole figure is one work-unit manifest (harness figureSet) executed
+ * on the in-process Session executor via runManifest — the same units and
+ * renderer the gga_worker/gga_merge sharded pipeline uses, so this binary
+ * and a merged multi-worker run produce byte-identical tables.
  *
  * Usage: fig5_breakdown [--csv] [--full]
  *   --full sweeps all 12 (6 for CC) configurations instead of the figure
@@ -23,13 +24,11 @@
 
 #include <cstring>
 #include <iostream>
-#include <vector>
 
+#include "eval/run.hpp"
 #include "harness/figures.hpp"
-#include "harness/sweep.hpp"
 #include "harness/workloads.hpp"
 #include "support/log.hpp"
-#include "support/stats.hpp"
 
 int
 main(int argc, char** argv)
@@ -49,54 +48,15 @@ main(int argc, char** argv)
     session_opts.verboseRuns = true;
     gga::Session session(session_opts);
 
-    // Phase 1: enqueue every workload's sweep on the shared executor.
-    std::vector<gga::PendingSweep> pending;
-    for (gga::AppId app : gga::kAllApps) {
-        for (gga::GraphPreset g : gga::kAllGraphPresets) {
-            const gga::Workload wl{app, g};
-            const auto configs = full ? gga::allConfigs(wl.dynamic())
-                                      : gga::figureConfigs(wl.dynamic());
-            pending.push_back(gga::submitSweep(session, wl, configs));
-        }
-    }
-
-    gga::TextTable table;
-    table.setHeader({"Workload", "Config", "Norm", "Busy", "Comp", "Data",
-                     "Sync", "Idle", "Cycles", "Tag"});
-
-    gga::TextTable summary;
-    summary.setHeader({"App", "GeomeanBEST", "GeomeanPRED", "PredHitRate"});
-
-    // Phase 2: gather in submission (= paper) order.
-    std::size_t next = 0;
-    for (gga::AppId app : gga::kAllApps) {
-        std::vector<double> best_norm;
-        std::vector<double> pred_norm;
-        std::uint32_t exact = 0;
-        for (gga::GraphPreset g : gga::kAllGraphPresets) {
-            (void)g;
-            const gga::SweepResult sweep = pending[next++].collect();
-            gga::addSweepRows(table, sweep);
-            table.addSeparator();
-            const double base = static_cast<double>(sweep.baselineCycles);
-            best_norm.push_back(sweep.bestCycles / base);
-            pred_norm.push_back(sweep.predictedCycles / base);
-            if (sweep.predicted == sweep.best)
-                ++exact;
-        }
-        summary.addRow({gga::appName(app),
-                        gga::fmtDouble(gga::geomean(best_norm), 3),
-                        gga::fmtDouble(gga::geomean(pred_norm), 3),
-                        std::to_string(exact) + "/6"});
-    }
+    const gga::FigureSet set =
+        gga::figureSet("fig5", session.options().scale, full);
+    const gga::ResultSet results = gga::runManifest(session, set.manifest);
 
     std::cout << "Figure 5: normalized execution-time breakdown per "
                  "workload\n(baseline: TG0 for static apps, DG1 for CC; "
                  "scale=" << session.options().scale
               << ", session threads=" << session.threads()
               << ")\n\n";
-    std::cout << (csv ? table.toCsv() : table.toText());
-    std::cout << "\nPer-app geomean of BEST and PRED normalized times:\n";
-    std::cout << (csv ? summary.toCsv() : summary.toText());
+    std::cout << gga::renderFigure(set, results, csv);
     return 0;
 }

@@ -8,8 +8,9 @@
  * The paper finds 12 such workloads ({MIS,PR,CLR}-OLS, {BC,MIS,PR}-RAJ,
  * CC-*) with 7%-87% (avg 44%) reduction over SGR.
  *
- * All 36 sweeps run through one shared Session executor — submitted up
- * front, gathered in paper order, bit-identical to a serial run.
+ * The figure is one work-unit manifest (harness figureSet) executed on
+ * the in-process Session executor via runManifest — the same units and
+ * renderer the gga_worker/gga_merge sharded pipeline uses.
  *
  * Usage: fig6_best_pred [--csv]
  * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs;
@@ -19,13 +20,11 @@
 
 #include <cstring>
 #include <iostream>
-#include <vector>
 
+#include "eval/run.hpp"
 #include "harness/figures.hpp"
-#include "harness/sweep.hpp"
 #include "harness/workloads.hpp"
 #include "support/log.hpp"
-#include "support/stats.hpp"
 
 int
 main(int argc, char** argv)
@@ -38,61 +37,14 @@ main(int argc, char** argv)
     session_opts.verboseRuns = true;
     gga::Session session(session_opts);
 
-    std::vector<gga::PendingSweep> pending;
-    for (const gga::Workload& wl : gga::allWorkloads()) {
-        pending.push_back(gga::submitSweep(
-            session, wl, gga::figureConfigs(wl.dynamic())));
-    }
-
-    gga::TextTable table;
-    table.setHeader({"Workload", "Config", "NormToSGR", "Busy", "Comp",
-                     "Data", "Sync", "Idle", "Reduction"});
-
-    std::vector<double> reductions;
-    for (gga::PendingSweep& job : pending) {
-        const gga::Workload wl = job.workload();
-        const gga::SystemConfig sgr =
-            gga::parseConfig(wl.dynamic() ? "DGR" : "SGR");
-        const gga::SweepResult sweep = job.collect();
-        const gga::ConfigResult* sgr_run = sweep.find(sgr);
-        if (sweep.best == sgr)
-            continue; // SGR is optimal here; not a Figure 6 case
-
-        const double sgr_cycles = static_cast<double>(sgr_run->run.cycles);
-        const double reduction = 1.0 - sweep.bestCycles / sgr_cycles;
-        reductions.push_back(reduction);
-
-        for (const gga::SystemConfig& cfg :
-             {sgr, sweep.best, sweep.predicted}) {
-            const gga::ConfigResult* r = sweep.find(cfg);
-            std::vector<std::string> cells{wl.name(), cfg.name()};
-            for (std::string& c : gga::breakdownCells(r->run, sgr_cycles))
-                cells.push_back(std::move(c));
-            if (cfg == sweep.best)
-                cells.push_back(gga::fmtPct(reduction));
-            table.addRow(std::move(cells));
-        }
-        table.addSeparator();
-    }
+    const gga::FigureSet set =
+        gga::figureSet("fig6", session.options().scale);
+    const gga::ResultSet results = gga::runManifest(session, set.manifest);
 
     std::cout << "Figure 6: workloads where SGR (DGR for CC) is not "
                  "best\n(scale=" << session.options().scale
               << ", session threads=" << session.threads()
               << ")\n\n";
-    std::cout << (csv ? table.toCsv() : table.toText());
-    std::cout << "\nCases: " << reductions.size()
-              << " (paper: 12); reduction over SGR: min="
-              << gga::fmtPct(reductions.empty()
-                                 ? 0.0
-                                 : *std::min_element(reductions.begin(),
-                                                     reductions.end()))
-              << " max="
-              << gga::fmtPct(reductions.empty()
-                                 ? 0.0
-                                 : *std::max_element(reductions.begin(),
-                                                     reductions.end()))
-              << " avg="
-              << gga::fmtPct(gga::mean(reductions))
-              << " (paper: 7%-87%, avg 44%)\n";
+    std::cout << gga::renderFigure(set, results, csv);
     return 0;
 }

@@ -10,8 +10,11 @@
  * and highlights MIS-RAJ: push under DRF1-only can run far worse than
  * pull (up to 80%).
  *
- * Both sweeps of every workload (full space and restricted) are submitted
- * to one shared Session executor up front, then gathered in paper order.
+ * Both sweeps of every workload (full space and restricted) live in one
+ * deduplicated work-unit manifest (the configurations they share are
+ * simulated once), executed on the in-process Session executor via
+ * runManifest — the same units and renderer the gga_worker/gga_merge
+ * sharded pipeline uses.
  *
  * Usage: partial_design_space [--csv]
  * Environment: GGA_SCALE in (0,1] scales the inputs down for quick runs;
@@ -19,17 +22,13 @@
  * deprecated alias).
  */
 
-#include <algorithm>
 #include <cstring>
 #include <iostream>
-#include <vector>
 
-#include "api/graph_store.hpp"
-#include "harness/sweep.hpp"
+#include "eval/run.hpp"
+#include "harness/figures.hpp"
 #include "harness/workloads.hpp"
-#include "model/partial_tree.hpp"
 #include "support/log.hpp"
-#include "support/table.hpp"
 
 int
 main(int argc, char** argv)
@@ -37,101 +36,20 @@ main(int argc, char** argv)
     const bool csv = argc > 1 && !std::strcmp(argv[1], "--csv");
     gga::setVerbose(true);
 
-    // Restricted space: no DRFrlx anywhere.
-    const std::vector<gga::SystemConfig> static_cfgs = {
-        gga::parseConfig("TG0"), gga::parseConfig("SG1"),
-        gga::parseConfig("SD1")};
-    const std::vector<gga::SystemConfig> dyn_cfgs = {
-        gga::parseConfig("DG1"), gga::parseConfig("DD1")};
-
-    gga::DesignSpaceRestriction restriction;
-    restriction.allowDrfRlx = false;
-
     gga::SessionOptions session_opts;
     session_opts.scale = gga::evaluationScale(); // sweeps honor GGA_SCALE
     session_opts.verboseRuns = true;
     gga::Session session(session_opts);
 
-    // Phase 1: both sweeps of every workload onto the shared executor.
-    struct Job
-    {
-        gga::PendingSweep full;
-        gga::PendingSweep part;
-    };
-    std::vector<Job> jobs;
-    for (const gga::Workload& wl : gga::allWorkloads()) {
-        const auto cfgs = wl.dynamic() ? dyn_cfgs : static_cfgs;
-        jobs.push_back(
-            {gga::submitSweep(session, wl,
-                              gga::figureConfigs(wl.dynamic())),
-             gga::submitSweep(session, wl, cfgs)});
-    }
-
-    gga::TextTable table;
-    table.setHeader({"Workload", "FullBest", "NoRlxBest", "PartialPred",
-                     "PredHit", "Flip", "SG1/TG0"});
-
-    std::uint32_t flips = 0;
-    std::uint32_t pred_hits = 0;
-    std::uint32_t rows = 0;
-    for (Job& job : jobs) {
-        const gga::Workload wl = job.full.workload();
-        // Full-space sweep for reference best.
-        const gga::SweepResult full = job.full.collect();
-        // Restricted sweep.
-        const gga::SweepResult part = job.part.collect();
-        gga::SystemConfig no_rlx_best = part.results.front().config;
-        gga::Cycles best_cycles = part.results.front().run.cycles;
-        for (const gga::ConfigResult& r : part.results) {
-            // Only consider configurations in the restricted space.
-            if (r.config.con == gga::ConsistencyKind::DrfRlx)
-                continue;
-            if (r.run.cycles < best_cycles ||
-                no_rlx_best.con == gga::ConsistencyKind::DrfRlx) {
-                best_cycles = r.run.cycles;
-                no_rlx_best = r.config;
-            }
-        }
-
-        gga::GpuGeometry geom;
-        const gga::TaxonomyProfile profile = gga::profileGraph(
-            *gga::GraphStore::instance().get(wl.graph,
-                                             session.options().scale),
-            geom);
-        const gga::SystemConfig pred = gga::predictPartialDesignSpace(
-            profile, gga::algoProperties(wl.app), restriction);
-
-        const bool full_best_push =
-            full.best.prop == gga::UpdateProp::Push;
-        const bool flip = full_best_push &&
-                          no_rlx_best.prop == gga::UpdateProp::Pull;
-        flips += flip;
-        const bool hit = pred == no_rlx_best;
-        pred_hits += hit;
-        ++rows;
-
-        std::string ratio = "-";
-        if (!wl.dynamic()) {
-            const gga::ConfigResult* sg1 =
-                part.find(gga::parseConfig("SG1"));
-            const gga::ConfigResult* tg0 =
-                part.find(gga::parseConfig("TG0"));
-            ratio = gga::fmtDouble(
-                double(sg1->run.cycles) / double(tg0->run.cycles), 2);
-        }
-        table.addRow({wl.name(), full.best.name(), no_rlx_best.name(),
-                      pred.name(), hit ? "yes" : "no",
-                      flip ? "PULL-FLIP" : "", ratio});
-    }
+    const gga::FigureSet set =
+        gga::figureSet("partial", session.options().scale);
+    const gga::ResultSet results = gga::runManifest(session, set.manifest);
 
     std::cout << "Partial design space (no DRFrlx): best configuration "
                  "and partial-model prediction\n(scale="
               << session.options().scale
               << ", session threads=" << session.threads()
               << ")\n\n";
-    std::cout << (csv ? table.toCsv() : table.toText());
-    std::cout << "\nPush-to-pull flips without DRFrlx: " << flips
-              << " (paper: 7). Partial-model hits: " << pred_hits << "/"
-              << rows << "\n";
+    std::cout << gga::renderFigure(set, results, csv);
     return 0;
 }

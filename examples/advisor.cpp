@@ -17,7 +17,6 @@
 #include <vector>
 
 #include "api/session.hpp"
-#include "graph/mtx_io.hpp"
 #include "model/partial_tree.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -32,9 +31,11 @@ loadGraph(gga::Session& session, const std::string& name)
         if (gga::presetName(p) == name)
             return session.graphs().get(p);
     }
+    // MatrixMarket inputs resolve through the session's GraphStore like
+    // presets do: cached by path, shared across concurrent users, and
+    // usable in RunPlans (RunPlan::graphFile) and work units.
     std::cout << "loading MatrixMarket file " << name << "\n";
-    return std::make_shared<const gga::CsrGraph>(
-        gga::readMatrixMarketFile(name, /*with_weights=*/true));
+    return session.graphs().getFile(name);
 }
 
 } // namespace

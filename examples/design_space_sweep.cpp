@@ -1,14 +1,15 @@
 /**
  * @file
  * Example: sweep one workload (application + input graph) across the full
- * hardware/software design space through the Plan/Session API and print
- * the execution-time breakdown of every configuration, normalized to the
- * baseline (TG0, or DG1 for CC) — one workload's worth of the paper's
- * Figure 5.
+ * hardware/software design space and print the execution-time breakdown
+ * of every configuration, normalized to the baseline (TG0, or DG1 for CC)
+ * — one workload's worth of the paper's Figure 5.
  *
- * The whole space is submitted as one batch to the session executor
- * (Session::submitAll) and gathered in order, so the table is identical
- * to a serial run() loop at any thread count.
+ * The whole space is enumerated as a work-unit Manifest and executed on
+ * the session executor (eval runManifest) — the same serializable units
+ * the gga_worker/gga_merge sharded pipeline runs, so the table is
+ * identical to a serial run() loop at any thread count (and to any
+ * sharding of the same manifest).
  *
  * Usage: example_design_space_sweep [APP] [GRAPH] [scale] [threads]
  *   APP     in {PR, SSSP, MIS, CLR, BC, CC}    (default PR)
@@ -20,12 +21,11 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <future>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "api/session.hpp"
+#include "eval/run.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
 
@@ -75,27 +75,27 @@ main(int argc, char** argv)
     const auto configs =
         session.registry().validConfigs(entry->id, candidates);
 
-    // One plan per design point, all in flight on the session executor.
-    std::vector<gga::RunPlan> plans;
+    // One work unit per design point, all in flight on the session
+    // executor.
+    gga::Manifest manifest;
     for (const gga::SystemConfig& cfg : configs) {
-        plans.push_back(gga::RunPlan{}
-                            .app(entry->id)
-                            .graph(preset)
-                            .scale(scale)
-                            .config(cfg)
-                            .collectOutputs(false));
+        gga::WorkUnit unit;
+        unit.app = entry->id;
+        unit.preset = preset;
+        unit.scale = scale;
+        unit.config = cfg;
+        manifest.add(std::move(unit));
     }
-    std::vector<std::future<gga::RunOutcome>> futures =
-        session.submitAll(std::move(plans));
+    const gga::ResultSet results = gga::runManifest(session, manifest);
 
     gga::TextTable table;
     table.setHeader({"Config", "Cycles", "Norm", "Busy", "Comp", "Data",
                      "Sync", "Idle", "Kernels"});
     double baseline = 0.0;
-    for (std::size_t i = 0; i < futures.size(); ++i) {
+    for (std::size_t i = 0; i < manifest.size(); ++i) {
         const gga::SystemConfig& cfg = configs[i];
-        const gga::RunOutcome out = futures[i].get();
-        const gga::RunResult& r = out.result;
+        const gga::RunResult& r =
+            results.at(manifest.units()[i].key()).run;
         if (baseline == 0.0)
             baseline = static_cast<double>(r.cycles);
         const double total = r.breakdown.total();

@@ -1,7 +1,9 @@
 #include "api/graph_store.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "graph/mtx_io.hpp"
 #include "support/log.hpp"
 
 namespace gga {
@@ -26,21 +28,37 @@ GraphStore::get(GraphPreset p, double scale)
 {
     GGA_ASSERT(scale > 0.0 && scale <= 1.0,
                "GraphStore scale must be in (0, 1], got ", scale);
-    const Key key{p, quantizeScale(scale)};
-    GGA_ASSERT(key.second > 0, "scale ", scale, " quantizes to zero; "
+    const Key key{p, quantizeScale(scale), {}};
+    GGA_ASSERT(key.scaleUnits > 0, "scale ", scale, " quantizes to zero; "
                "the minimum representable scale is 5e-7");
+    return getOrBuild(key);
+}
+
+GraphStore::GraphPtr
+GraphStore::getFile(const std::string& path)
+{
+    GGA_ASSERT(!path.empty(), "GraphStore file path must not be empty");
+    return getOrBuild(Key{GraphPreset::Amz, kScaleUnits, path});
+}
+
+GraphStore::GraphPtr
+GraphStore::getOrBuild(const Key& key)
+{
     std::promise<GraphPtr> promise;
     std::shared_future<GraphPtr> future;
     bool builder = false;
+    std::uint64_t build_id = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = cache_.find(key);
         if (it == cache_.end()) {
             builder = true;
+            build_id = ++useTick_;
             future = promise.get_future().share();
-            cache_.emplace(key, future);
+            cache_.emplace(key, Slot{future, 0, build_id, build_id, false});
         } else {
-            future = it->second;
+            it->second.lastUse = ++useTick_;
+            future = it->second.future;
         }
     }
     if (builder) {
@@ -48,17 +66,42 @@ GraphStore::get(GraphPreset p, double scale)
         // waiters for this key block on the shared future instead.
         try {
             GraphPtr built;
-            if (key.second >= kScaleUnits) {
+            if (!key.path.empty()) {
+                // Weights attached so the file path serves weighted apps
+                // (SSSP) exactly like the presets do.
+                built = std::make_shared<const CsrGraph>(
+                    readMatrixMarketFile(key.path, /*with_weights=*/true));
+            } else if (key.scaleUnits >= kScaleUnits) {
                 // Alias the process-wide presetGraph memo so the
                 // full-size input exists once no matter the access path;
                 // evicting such an entry only drops the alias.
-                built = GraphPtr(&presetGraph(p), [](const CsrGraph*) {});
+                built = GraphPtr(&presetGraph(key.preset),
+                                 [](const CsrGraph*) {});
             } else {
                 // Build at the quantized scale, not the raw argument, so
                 // every double mapping to this key yields the same graph.
                 built = std::make_shared<const CsrGraph>(buildPresetScaled(
-                    p, static_cast<double>(key.second) /
-                           static_cast<double>(kScaleUnits)));
+                    key.preset, static_cast<double>(key.scaleUnits) /
+                                    static_cast<double>(kScaleUnits)));
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = cache_.find(key);
+                // Account only the slot this build inserted: an evict()
+                // racing the build may have dropped it (and a later get()
+                // re-inserted a different build's slot). Full-scale
+                // preset aliases are accounted as 0 bytes — evicting
+                // them frees nothing (presetGraph pins the memory for
+                // the process lifetime), so charging them to the budget
+                // would just churn the entries that *can* be freed.
+                if (it != cache_.end() && it->second.id == build_id) {
+                    const bool alias =
+                        key.path.empty() && key.scaleUnits >= kScaleUnits;
+                    it->second.bytes = alias ? 0 : built->memoryBytes();
+                    it->second.ready = true;
+                    totalBytes_ += it->second.bytes;
+                    enforceBudgetLocked();
+                }
             }
             promise.set_value(std::move(built));
         } catch (...) {
@@ -66,7 +109,9 @@ GraphStore::get(GraphPreset p, double scale)
             // retries, and propagate the failure to current waiters.
             {
                 std::lock_guard<std::mutex> lock(mu_);
-                cache_.erase(key);
+                auto it = cache_.find(key);
+                if (it != cache_.end() && it->second.id == build_id)
+                    cache_.erase(it);
             }
             promise.set_exception(std::current_exception());
             throw;
@@ -75,11 +120,59 @@ GraphStore::get(GraphPreset p, double scale)
     return future.get();
 }
 
+void
+GraphStore::enforceBudgetLocked()
+{
+    if (budgetBytes_ == 0)
+        return;
+    while (totalBytes_ > budgetBytes_) {
+        // Find the least-recently-used *completed* entry that actually
+        // holds reclaimable memory. In-flight builds are skipped (their
+        // waiters hold the shared future), zero-byte entries are skipped
+        // (full-scale aliases — evicting them frees nothing), and so is
+        // the sole remaining candidate when everything else is gone — a
+        // budget smaller than one graph still keeps the current one.
+        auto victim = cache_.end();
+        std::size_t candidates = 0;
+        for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+            if (!it->second.ready || it->second.bytes == 0)
+                continue;
+            ++candidates;
+            if (victim == cache_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == cache_.end() || candidates <= 1)
+            return;
+        totalBytes_ -= victim->second.bytes;
+        cache_.erase(victim);
+    }
+}
+
 bool
 GraphStore::evict(GraphPreset p, double scale)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return cache_.erase(Key{p, quantizeScale(scale)}) > 0;
+    auto it = cache_.find(Key{p, quantizeScale(scale), {}});
+    if (it == cache_.end())
+        return false;
+    if (it->second.ready)
+        totalBytes_ -= it->second.bytes;
+    cache_.erase(it);
+    return true;
+}
+
+bool
+GraphStore::evictFile(const std::string& path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(Key{GraphPreset::Amz, kScaleUnits, path});
+    if (it == cache_.end())
+        return false;
+    if (it->second.ready)
+        totalBytes_ -= it->second.bytes;
+    cache_.erase(it);
+    return true;
 }
 
 void
@@ -87,6 +180,7 @@ GraphStore::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.clear();
+    totalBytes_ = 0;
 }
 
 std::size_t
@@ -94,6 +188,63 @@ GraphStore::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return cache_.size();
+}
+
+void
+GraphStore::setBudgetBytes(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    budgetBytes_ = bytes;
+    enforceBudgetLocked();
+}
+
+std::size_t
+GraphStore::budgetBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return budgetBytes_;
+}
+
+std::size_t
+GraphStore::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totalBytes_;
+}
+
+std::vector<GraphStore::EntryStats>
+GraphStore::stats() const
+{
+    struct Row
+    {
+        EntryStats stats;
+        std::uint64_t lastUse;
+    };
+    std::vector<Row> rows;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        rows.reserve(cache_.size());
+        for (const auto& [key, slot] : cache_) {
+            EntryStats e;
+            if (key.path.empty()) {
+                e.name = presetName(key.preset);
+                e.scale = static_cast<double>(key.scaleUnits) /
+                          static_cast<double>(kScaleUnits);
+            } else {
+                e.name = key.path;
+                e.scale = 1.0;
+            }
+            e.bytes = slot.ready ? slot.bytes : 0;
+            rows.push_back({std::move(e), slot.lastUse});
+        }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.lastUse > b.lastUse; });
+    std::vector<EntryStats> out;
+    out.reserve(rows.size());
+    for (Row& r : rows)
+        out.push_back(std::move(r.stats));
+    return out;
 }
 
 } // namespace gga

@@ -1,7 +1,8 @@
 /**
  * @file
- * GraphStore: a thread-safe, process-wide cache of built preset graphs,
- * keyed on (preset, scale), with explicit eviction.
+ * GraphStore: a thread-safe, process-wide cache of built input graphs —
+ * synthetic presets keyed on (preset, scale) and MatrixMarket files keyed
+ * on path — with explicit eviction and an optional LRU byte budget.
  *
  * Replaces the non-thread-safe function-local cache that used to back
  * workloadGraph(): concurrent callers (e.g. the parallel design-space
@@ -9,6 +10,12 @@
  * everyone else blocks on the same build instead of duplicating it.
  * Entries are handed out as shared_ptr so eviction never invalidates a
  * graph an in-flight run is still using.
+ *
+ * The byte budget (setBudgetBytes / SessionOptions::graphBudgetBytes)
+ * exists for sharded evaluation: N worker shards on one host must not
+ * each hold every input graph. When the cached total exceeds the budget,
+ * least-recently-used completed entries are dropped from the cache (their
+ * outstanding handles stay valid; a later get() rebuilds).
  */
 
 #ifndef GGA_API_GRAPH_STORE_HPP
@@ -19,7 +26,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/presets.hpp"
@@ -30,6 +39,16 @@ class GraphStore
 {
   public:
     using GraphPtr = std::shared_ptr<const CsrGraph>;
+
+    /** Telemetry row for one cached entry. */
+    struct EntryStats
+    {
+        std::string name;  ///< preset name ("RAJ") or file path
+        double scale;      ///< 1.0 for file entries
+        /** 0 while in flight, and for full-scale preset aliases (their
+         *  memory is pinned by presetGraph(), not owned by the cache). */
+        std::size_t bytes;
+    };
 
     /** The process-wide store. */
     static GraphStore& instance();
@@ -48,6 +67,15 @@ class GraphStore
     GraphPtr get(GraphPreset p, double scale = 1.0);
 
     /**
+     * The MatrixMarket graph at @p path, loaded (with the library's
+     * deterministic weights attached) on first request and cached by
+     * path. Thread-safe with the same shared-build semantics as preset
+     * entries. A malformed or missing file is fatal, matching
+     * readMatrixMarketFile.
+     */
+    GraphPtr getFile(const std::string& path);
+
+    /**
      * Drop the cached entry for (p, scale). Returns whether an entry was
      * present. Outstanding GraphPtr handles stay valid; the next get()
      * rebuilds. For full-scale entries only the alias is dropped — the
@@ -55,11 +83,36 @@ class GraphStore
      */
     bool evict(GraphPreset p, double scale = 1.0);
 
+    /** Drop the cached entry for @p path; same semantics as evict. */
+    bool evictFile(const std::string& path);
+
     /** Drop every cached entry. */
     void clear();
 
     /** Number of cached (or in-flight) entries. */
     std::size_t size() const;
+
+    /**
+     * LRU capacity policy: keep the sum of cached graph bytes at or under
+     * @p bytes by dropping least-recently-used completed entries
+     * (in-flight builds are never dropped). 0 = unlimited (the default).
+     * Applies immediately and to every later insertion. Full-scale
+     * preset entries alias the process-lifetime presetGraph() memo —
+     * evicting them frees nothing — so they are accounted (and reported
+     * by stats()) as 0 bytes and never charged against the budget; the
+     * budget governs the entries whose memory eviction can actually
+     * reclaim (scaled presets and file graphs).
+     */
+    void setBudgetBytes(std::size_t bytes);
+
+    /** The current byte budget (0 = unlimited). */
+    std::size_t budgetBytes() const;
+
+    /** Total bytes of completed cached entries. */
+    std::size_t totalBytes() const;
+
+    /** Per-entry telemetry, most recently used first. */
+    std::vector<EntryStats> stats() const;
 
     /**
      * The canonical cache key for @p scale: the value rounded to 1e-6.
@@ -71,11 +124,53 @@ class GraphStore
     static std::int64_t quantizeScale(double scale);
 
   private:
-    /** (preset, quantizeScale(scale)); micro-units, 1000000 = full size. */
-    using Key = std::pair<GraphPreset, std::int64_t>;
+    /**
+     * Preset entries use (preset, quantizeScale(scale)) with an empty
+     * path; file entries use (Amz, full-scale) with the path set — the
+     * path being nonempty is what distinguishes the two kinds, so the
+     * preset fields of a file key are just tie-breakers.
+     */
+    struct Key
+    {
+        GraphPreset preset;
+        std::int64_t scaleUnits; ///< micro-units, 1000000 = full size
+        std::string path;        ///< empty for preset entries
+
+        auto
+        operator<=>(const Key& o) const
+        {
+            if (auto c = path <=> o.path; c != 0)
+                return c;
+            if (auto c = preset <=> o.preset; c != 0)
+                return c;
+            return scaleUnits <=> o.scaleUnits;
+        }
+    };
+
+    struct Slot
+    {
+        std::shared_future<GraphPtr> future;
+        std::size_t bytes = 0;    ///< known once the build completes
+        std::uint64_t lastUse = 0; ///< LRU tick
+        /**
+         * Identity of the build that owns this slot. A builder only
+         * accounts/erases a slot whose id it inserted — an evict/clear
+         * racing the build may have replaced the slot with a new build's,
+         * and completing against that one would double-count its bytes.
+         */
+        std::uint64_t id = 0;
+        bool ready = false;
+    };
+
+    GraphPtr getOrBuild(const Key& key);
+    /** Drop LRU completed entries until within budget. Caller holds mu_. */
+    void enforceBudgetLocked();
 
     mutable std::mutex mu_;
-    std::map<Key, std::shared_future<GraphPtr>> cache_;
+    std::map<Key, Slot> cache_;
+    std::uint64_t useTick_ = 0;
+    std::size_t budgetBytes_ = 0;
+    std::size_t totalBytes_ = 0;
 };
 
 } // namespace gga

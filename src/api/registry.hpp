@@ -49,6 +49,14 @@ class AppRegistry
         std::string name;              ///< short uppercase name ("PR", ...)
         AlgoProperties properties;     ///< paper Table III row
         std::string configRequirement; ///< human-readable predicate summary
+        /**
+         * The app's default hardware point: the SimParams an evaluation
+         * work unit without an explicit params override runs under. All
+         * built-in apps register the paper's Table IV system; the field
+         * is the seam for per-app tuned presets (e.g. a wider relaxed-
+         * atomic window for atomic-heavy apps) without touching callers.
+         */
+        SimParams params;
         RunnerFn run;
         LegacyRunnerFn runLegacy;
         ConfigPredicate validConfig;

@@ -42,6 +42,17 @@ RunPlan&
 RunPlan::graph(GraphPreset p)
 {
     preset_ = p;
+    file_.clear();
+    custom_.reset();
+    graphLabel_.clear();
+    return *this;
+}
+
+RunPlan&
+RunPlan::graphFile(std::string path)
+{
+    file_ = std::move(path);
+    preset_.reset();
     custom_.reset();
     graphLabel_.clear();
     return *this;
@@ -52,6 +63,7 @@ RunPlan::graph(std::shared_ptr<const CsrGraph> g, std::string label)
 {
     custom_ = std::move(g);
     preset_.reset();
+    file_.clear();
     graphLabel_ = std::move(label);
     return *this;
 }
@@ -117,6 +129,8 @@ Session::Session(SessionOptions opts) : opts_(std::move(opts))
 {
     GGA_ASSERT(opts_.scale > 0.0 && opts_.scale <= 1.0,
                "session scale must be in (0, 1], got ", opts_.scale);
+    if (opts_.graphBudgetBytes != 0)
+        graphs().setBudgetBytes(opts_.graphBudgetBytes);
 }
 
 const AppRegistry&
@@ -141,11 +155,14 @@ Session::validate(const RunPlan& plan) const
         return "application " +
                std::to_string(static_cast<int>(*plan.plannedApp())) +
                " is not registered";
-    if (!plan.plannedPreset() && !plan.customGraph())
-        return "plan has no input graph (RunPlan::graph)";
+    if (!plan.plannedPreset() && plan.plannedFile().empty() &&
+        !plan.customGraph())
+        return "plan has no input graph (RunPlan::graph / graphFile)";
     if (plan.plannedScale() &&
         (*plan.plannedScale() <= 0.0 || *plan.plannedScale() > 1.0))
         return "plan scale must be in (0, 1]";
+    if (plan.plannedScale() && !plan.plannedPreset())
+        return "plan scale applies to preset inputs only";
     if (!plan.badConfigName().empty())
         return "malformed configuration name '" + plan.badConfigName() + "'";
     if (!plan.plannedConfig())
@@ -168,7 +185,10 @@ Session::tryRun(const RunPlan& plan, std::string* error)
 
     GraphStore::GraphPtr graph = plan.customGraph();
     std::string graph_name = plan.graphLabel();
-    if (!graph) {
+    if (!graph && !plan.plannedFile().empty()) {
+        graph = graphs().getFile(plan.plannedFile());
+        graph_name = plan.plannedFile();
+    } else if (!graph) {
         const double scale = plan.plannedScale().value_or(opts_.scale);
         graph = graphs().get(*plan.plannedPreset(), scale);
         graph_name = presetName(*plan.plannedPreset());

@@ -52,6 +52,12 @@ class RunPlan
     /** Run on a preset input, resolved through the session's GraphStore. */
     RunPlan& graph(GraphPreset p);
 
+    /**
+     * Run on a MatrixMarket file, loaded (and cached) through the
+     * session's GraphStore. Scale does not apply to file inputs.
+     */
+    RunPlan& graphFile(std::string path);
+
     /** Run on a caller-owned graph (shared ownership). */
     RunPlan& graph(std::shared_ptr<const CsrGraph> g,
                    std::string label = "custom");
@@ -88,6 +94,7 @@ class RunPlan
     // --- introspection (used by Session and tests) ---
     std::optional<AppId> plannedApp() const { return app_; }
     std::optional<GraphPreset> plannedPreset() const { return preset_; }
+    const std::string& plannedFile() const { return file_; }
     const std::shared_ptr<const CsrGraph>& customGraph() const
     {
         return custom_;
@@ -103,6 +110,7 @@ class RunPlan
   private:
     std::optional<AppId> app_;
     std::optional<GraphPreset> preset_;
+    std::string file_;
     std::shared_ptr<const CsrGraph> custom_;
     std::string graphLabel_;
     std::optional<double> scale_;
@@ -156,6 +164,14 @@ struct SessionOptions
      * submit, so purely synchronous sessions never spawn threads.
      */
     unsigned threads = 0;
+    /**
+     * LRU byte budget applied to the shared GraphStore (see
+     * GraphStore::setBudgetBytes). 0 = leave the store's current budget
+     * untouched (the default). Nonzero values configure the process-wide
+     * store at session construction — last writer wins — so N worker
+     * shards on one host can bound how many input graphs stay resident.
+     */
+    std::size_t graphBudgetBytes = 0;
 };
 
 /**

@@ -36,6 +36,9 @@ struct RunResult
     MemStats mem;               ///< memory-system counters
     std::uint32_t kernels = 0;  ///< kernel launches
     std::uint64_t events = 0;   ///< simulator events processed (diagnostics)
+
+    /** Field-wise equality (shard-invariance / determinism tests). */
+    bool operator==(const RunResult&) const = default;
 };
 
 /** Collect a RunResult from a finished Gpu. */

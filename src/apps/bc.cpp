@@ -506,6 +506,7 @@ registerBcApp(AppRegistry& reg)
     e.id = AppId::Bc;
     e.name = appName(AppId::Bc);
     e.properties = algoProperties(AppId::Bc);
+    e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a static traversal and requires Push or Pull";
     e.run = &runBcTyped;
     e.runLegacy = &runBc;

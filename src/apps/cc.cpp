@@ -230,6 +230,7 @@ registerCcApp(AppRegistry& reg)
     e.id = AppId::Cc;
     e.name = appName(AppId::Cc);
     e.properties = algoProperties(AppId::Cc);
+    e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a dynamic traversal and requires PushPull";
     e.run = &runCcTyped;
     e.runLegacy = &runCc;

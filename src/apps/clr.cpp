@@ -279,6 +279,7 @@ registerClrApp(AppRegistry& reg)
     e.id = AppId::Clr;
     e.name = appName(AppId::Clr);
     e.properties = algoProperties(AppId::Clr);
+    e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a static traversal and requires Push or Pull";
     e.run = &runClrTyped;
     e.runLegacy = &runClr;

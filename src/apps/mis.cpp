@@ -396,6 +396,7 @@ registerMisApp(AppRegistry& reg)
     e.id = AppId::Mis;
     e.name = appName(AppId::Mis);
     e.properties = algoProperties(AppId::Mis);
+    e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a static traversal and requires Push or Pull";
     e.run = &runMisTyped;
     e.runLegacy = &runMis;

@@ -235,6 +235,7 @@ registerPrApp(AppRegistry& reg)
     e.id = AppId::Pr;
     e.name = appName(AppId::Pr);
     e.properties = algoProperties(AppId::Pr);
+    e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a static traversal and requires Push or Pull";
     e.run = &runPrTyped;
     e.runLegacy = &runPr;

@@ -283,6 +283,7 @@ registerSsspApp(AppRegistry& reg)
     e.id = AppId::Sssp;
     e.name = appName(AppId::Sssp);
     e.properties = algoProperties(AppId::Sssp);
+    e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a static traversal and requires Push or Pull";
     e.run = &runSsspTyped;
     e.runLegacy = &runSssp;

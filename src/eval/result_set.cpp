@@ -1,0 +1,261 @@
+#include "eval/result_set.hpp"
+
+#include <algorithm>
+
+namespace gga {
+
+namespace {
+
+Json
+memStatsToJson(const MemStats& m)
+{
+    Json j = Json::object();
+    j.set("l1_load_hits", m.l1LoadHits);
+    j.set("l1_load_misses", m.l1LoadMisses);
+    j.set("l1_stores", m.l1Stores);
+    j.set("l1_atomic_hits", m.l1AtomicHits);
+    j.set("ownership_requests", m.ownershipRequests);
+    j.set("ownership_forwards", m.ownershipForwards);
+    j.set("l2_atomics", m.l2Atomics);
+    j.set("l2_reads", m.l2Reads);
+    j.set("l2_read_misses", m.l2ReadMisses);
+    j.set("l2_writes", m.l2Writes);
+    j.set("flushed_lines", m.flushedLines);
+    j.set("acquire_invalidated_lines", m.acquireInvalidatedLines);
+    j.set("recalls", m.recalls);
+    j.set("dram_reads", m.dramReads);
+    j.set("dram_writes", m.dramWrites);
+    j.set("l1_retries", m.l1Retries);
+    j.set("l2_read_lag_sum", m.l2ReadLagSum);
+    j.set("l2_atomic_lag_sum", m.l2AtomicLagSum);
+    return j;
+}
+
+MemStats
+memStatsFromJson(const Json& j)
+{
+    // Every member below is required; a count match therefore proves
+    // there are no unknown extras either.
+    if (j.asObject().size() != 18)
+        throw EvalError("mem stats object must have exactly its 18 "
+                        "counters");
+    MemStats m;
+    m.l1LoadHits = j.at("l1_load_hits").asU64();
+    m.l1LoadMisses = j.at("l1_load_misses").asU64();
+    m.l1Stores = j.at("l1_stores").asU64();
+    m.l1AtomicHits = j.at("l1_atomic_hits").asU64();
+    m.ownershipRequests = j.at("ownership_requests").asU64();
+    m.ownershipForwards = j.at("ownership_forwards").asU64();
+    m.l2Atomics = j.at("l2_atomics").asU64();
+    m.l2Reads = j.at("l2_reads").asU64();
+    m.l2ReadMisses = j.at("l2_read_misses").asU64();
+    m.l2Writes = j.at("l2_writes").asU64();
+    m.flushedLines = j.at("flushed_lines").asU64();
+    m.acquireInvalidatedLines = j.at("acquire_invalidated_lines").asU64();
+    m.recalls = j.at("recalls").asU64();
+    m.dramReads = j.at("dram_reads").asU64();
+    m.dramWrites = j.at("dram_writes").asU64();
+    m.l1Retries = j.at("l1_retries").asU64();
+    m.l2ReadLagSum = j.at("l2_read_lag_sum").asU64();
+    m.l2AtomicLagSum = j.at("l2_atomic_lag_sum").asU64();
+    return m;
+}
+
+} // namespace
+
+Json
+UnitResult::toJson() const
+{
+    Json j = Json::object();
+    j.set("key", key);
+    j.set("cycles", run.cycles);
+    Json bd = Json::object();
+    bd.set("busy", run.breakdown.busy);
+    bd.set("comp", run.breakdown.comp);
+    bd.set("data", run.breakdown.data);
+    bd.set("sync", run.breakdown.sync);
+    bd.set("idle", run.breakdown.idle);
+    j.set("breakdown", std::move(bd));
+    j.set("mem", memStatsToJson(run.mem));
+    j.set("kernels", static_cast<std::uint64_t>(run.kernels));
+    j.set("events", run.events);
+    if (output) {
+        Json o = Json::object();
+        o.set("kind", output->kind);
+        o.set("elements", output->elements);
+        o.set("hash", output->hash);
+        j.set("output", std::move(o));
+    }
+    return j;
+}
+
+UnitResult
+UnitResult::fromJson(const Json& j)
+{
+    // Strict like the manifest side: unknown members are rejected so a
+    // hand-edited part file fails loudly.
+    for (const auto& [key, value] : j.asObject()) {
+        if (key != "key" && key != "cycles" && key != "breakdown" &&
+            key != "mem" && key != "kernels" && key != "events" &&
+            key != "output")
+            throw EvalError("unknown unit-result member '" + key + "'");
+    }
+    UnitResult r;
+    r.key = j.at("key").asString();
+    if (r.key.empty())
+        throw EvalError("unit result with an empty key");
+    r.run.cycles = j.at("cycles").asU64();
+    const Json& bd = j.at("breakdown");
+    if (bd.asObject().size() != 5)
+        throw EvalError("breakdown object must have exactly its 5 "
+                        "categories");
+    r.run.breakdown.busy = bd.at("busy").asDouble();
+    r.run.breakdown.comp = bd.at("comp").asDouble();
+    r.run.breakdown.data = bd.at("data").asDouble();
+    r.run.breakdown.sync = bd.at("sync").asDouble();
+    r.run.breakdown.idle = bd.at("idle").asDouble();
+    r.run.mem = memStatsFromJson(j.at("mem"));
+    r.run.kernels = static_cast<std::uint32_t>(j.at("kernels").asU64());
+    r.run.events = j.at("events").asU64();
+    if (const Json* o = j.find("output")) {
+        if (o->asObject().size() != 3)
+            throw EvalError("output summary must have exactly "
+                            "kind/elements/hash");
+        OutputSummary s;
+        s.kind = o->at("kind").asString();
+        s.elements = o->at("elements").asU64();
+        s.hash = o->at("hash").asU64();
+        r.output = std::move(s);
+    }
+    return r;
+}
+
+void
+ResultSet::add(UnitResult r)
+{
+    const auto pos = std::lower_bound(
+        results_.begin(), results_.end(), r.key,
+        [](const UnitResult& a, const std::string& key) {
+            return a.key < key;
+        });
+    if (pos != results_.end() && pos->key == r.key)
+        throw EvalError("duplicate result for work unit '" + r.key + "'");
+    results_.insert(pos, std::move(r));
+}
+
+const UnitResult*
+ResultSet::find(std::string_view key) const
+{
+    const auto pos = std::lower_bound(
+        results_.begin(), results_.end(), key,
+        [](const UnitResult& a, std::string_view k) { return a.key < k; });
+    if (pos == results_.end() || pos->key != key)
+        return nullptr;
+    return &*pos;
+}
+
+const UnitResult&
+ResultSet::at(std::string_view key) const
+{
+    if (const UnitResult* r = find(key))
+        return *r;
+    throw EvalError("no result for work unit '" + std::string(key) + "'");
+}
+
+ResultSet
+ResultSet::fromRows(std::vector<UnitResult> rows)
+{
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const UnitResult& a, const UnitResult& b) {
+                         return a.key < b.key;
+                     });
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        if (rows[i].key == rows[i - 1].key)
+            throw EvalError("duplicate result for work unit '" +
+                            rows[i].key + "'");
+    }
+    ResultSet out;
+    out.results_ = std::move(rows);
+    return out;
+}
+
+ResultSet
+ResultSet::merge(const std::vector<ResultSet>& parts)
+{
+    std::vector<UnitResult> rows;
+    std::size_t total = 0;
+    for (const ResultSet& part : parts)
+        total += part.size();
+    rows.reserve(total);
+    for (const ResultSet& part : parts)
+        rows.insert(rows.end(), part.results_.begin(), part.results_.end());
+    return fromRows(std::move(rows)); // throws on a duplicate key
+}
+
+void
+ResultSet::verifyComplete(const Manifest& manifest) const
+{
+    std::vector<std::string> expected;
+    expected.reserve(manifest.size());
+    for (const WorkUnit& u : manifest.units())
+        expected.push_back(u.key());
+    std::sort(expected.begin(), expected.end());
+
+    std::string missing;
+    for (const std::string& key : expected) {
+        if (!find(key))
+            missing += (missing.empty() ? "" : ", ") + key;
+    }
+    std::string unexpected;
+    for (const UnitResult& r : results_) {
+        if (!std::binary_search(expected.begin(), expected.end(), r.key))
+            unexpected += (unexpected.empty() ? "" : ", ") + r.key;
+    }
+    if (missing.empty() && unexpected.empty())
+        return;
+    std::string why = "merged results do not cover the manifest:";
+    if (!missing.empty())
+        why += " missing [" + missing + "]";
+    if (!unexpected.empty())
+        why += " unexpected [" + unexpected + "]";
+    throw EvalError(why);
+}
+
+Json
+ResultSet::toJson() const
+{
+    Json j = Json::object();
+    Json arr = Json::array();
+    for (const UnitResult& r : results_)
+        arr.push(r.toJson());
+    j.set("results", std::move(arr));
+    return j;
+}
+
+ResultSet
+ResultSet::fromJson(const Json& j)
+{
+    for (const auto& [key, value] : j.asObject()) {
+        if (key != "results")
+            throw EvalError("unknown result-set member '" + key + "'");
+    }
+    std::vector<UnitResult> rows;
+    rows.reserve(j.at("results").asArray().size());
+    for (const Json& r : j.at("results").asArray())
+        rows.push_back(UnitResult::fromJson(r));
+    return fromRows(std::move(rows));
+}
+
+void
+ResultSet::save(const std::string& file_path) const
+{
+    writeTextFile(file_path, toJson().dump(2) + "\n");
+}
+
+ResultSet
+ResultSet::load(const std::string& file_path)
+{
+    return fromJson(Json::parse(readTextFile(file_path)));
+}
+
+} // namespace gga

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ResultSet: the serializable per-unit outcomes of executing a manifest
+ * (or one shard of it), plus the deterministic merge.
+ *
+ * Results are keyed on WorkUnit::key() and stored sorted by key, so a
+ * merged set is byte-identical no matter how many shards produced it or
+ * in which order the parts arrive. Merge rejects duplicate units, and
+ * verifyComplete rejects a merge that doesn't cover its manifest —
+ * losing a shard must be a loud error, not a quietly thinner table.
+ */
+
+#ifndef GGA_EVAL_RESULT_SET_HPP
+#define GGA_EVAL_RESULT_SET_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "eval/manifest.hpp"
+
+namespace gga {
+
+/**
+ * Compact typed digest of an app's functional output: enough to check
+ * cross-shard/cross-host agreement without shipping per-vertex vectors.
+ */
+struct OutputSummary
+{
+    std::string kind;          ///< producing app ("PR", "BC", ...)
+    std::uint64_t elements = 0; ///< per-vertex output length
+    std::uint64_t hash = 0;     ///< FNV-1a over the raw output bytes
+
+    bool operator==(const OutputSummary&) const = default;
+};
+
+/** Everything one executed work unit produced. */
+struct UnitResult
+{
+    std::string key; ///< WorkUnit::key() of the unit that produced this
+    RunResult run;   ///< cycles, stall breakdown, MemStats, kernels, events
+    std::optional<OutputSummary> output; ///< when the unit collected outputs
+
+    bool operator==(const UnitResult&) const = default;
+
+    Json toJson() const;
+    static UnitResult fromJson(const Json& j); ///< throws EvalError
+};
+
+class ResultSet
+{
+  public:
+    /** All results, sorted by unit key (the canonical order). */
+    const std::vector<UnitResult>& results() const { return results_; }
+
+    bool empty() const { return results_.empty(); }
+    std::size_t size() const { return results_.size(); }
+
+    /** Insert in key order; throws EvalError on a duplicate key. */
+    void add(UnitResult r);
+
+    /**
+     * Bulk constructor: one sort plus an adjacent-duplicate scan instead
+     * of per-element sorted inserts — O(n log n) where an add() loop is
+     * O(n^2). Throws EvalError naming the first duplicated key.
+     */
+    static ResultSet fromRows(std::vector<UnitResult> rows);
+
+    /** Binary search by key; nullptr when absent. */
+    const UnitResult* find(std::string_view key) const;
+
+    /** find() that must succeed; throws EvalError naming the key. */
+    const UnitResult& at(std::string_view key) const;
+
+    /**
+     * Union of @p parts. Throws EvalError naming the first duplicated
+     * unit key — two shards reporting the same unit means the shard
+     * assignment (or a retry) went wrong, and silently preferring one
+     * would hide it. The result is sorted by key, so it is independent
+     * of both shard count and argument order.
+     */
+    static ResultSet merge(const std::vector<ResultSet>& parts);
+
+    /**
+     * Verify this set covers @p manifest exactly: every manifest unit
+     * present and nothing else. Throws EvalError listing the missing
+     * and/or unexpected unit keys.
+     */
+    void verifyComplete(const Manifest& manifest) const;
+
+    Json toJson() const;
+    static ResultSet fromJson(const Json& j); ///< throws EvalError
+
+    /** File round trip (pretty-printed JSON). Throws on IO failure. */
+    void save(const std::string& file_path) const;
+    static ResultSet load(const std::string& file_path);
+
+    bool operator==(const ResultSet&) const = default;
+
+  private:
+    std::vector<UnitResult> results_; ///< invariant: sorted by key
+};
+
+} // namespace gga
+
+#endif // GGA_EVAL_RESULT_SET_HPP

@@ -1,0 +1,114 @@
+#include "eval/run.hpp"
+
+#include "support/rng.hpp"
+
+namespace gga {
+
+namespace {
+
+template <typename T>
+std::uint64_t
+hashVector(const std::vector<T>& v, std::uint64_t h = kFnv1aBasis)
+{
+    return fnv1a(v.data(), v.size() * sizeof(T), h);
+}
+
+} // namespace
+
+std::optional<OutputSummary>
+summarizeOutput(const RunOutcome& outcome)
+{
+    if (!outcome.hasOutput())
+        return std::nullopt;
+    OutputSummary s;
+    s.kind = outcome.appName;
+    if (const PrOutput* pr = outcome.pr()) {
+        s.elements = pr->ranks.size();
+        s.hash = hashVector(pr->ranks);
+    } else if (const SsspOutput* sssp = outcome.sssp()) {
+        s.elements = sssp->dist.size();
+        s.hash = hashVector(sssp->dist);
+    } else if (const MisOutput* mis = outcome.mis()) {
+        s.elements = mis->state.size();
+        s.hash = hashVector(mis->state);
+    } else if (const ClrOutput* clr = outcome.clr()) {
+        s.elements = clr->colors.size();
+        s.hash = hashVector(clr->colors);
+    } else if (const BcOutput* bc = outcome.bc()) {
+        s.elements = bc->delta.size();
+        s.hash = hashVector(bc->sigma,
+                            hashVector(bc->level, hashVector(bc->delta)));
+    } else if (const CcOutput* cc = outcome.cc()) {
+        s.elements = cc->labels.size();
+        s.hash = hashVector(cc->labels);
+    }
+    return s;
+}
+
+RunPlan
+planForUnit(const WorkUnit& unit)
+{
+    RunPlan plan;
+    plan.app(unit.app);
+    if (unit.preset)
+        plan.graph(*unit.preset).scale(unit.scale);
+    else
+        plan.graphFile(unit.path);
+    plan.config(unit.config);
+    if (unit.params) {
+        plan.params(*unit.params);
+    } else if (const AppRegistry::Entry* e =
+                   AppRegistry::instance().find(unit.app)) {
+        // The app's registered hardware preset, not the session default:
+        // a unit must run identically no matter which session executes
+        // its shard.
+        plan.params(e->params);
+    }
+    plan.collectOutputs(unit.collectOutputs);
+    return plan;
+}
+
+PendingManifest
+submitManifest(Session& session, const Manifest& manifest)
+{
+    PendingManifest pending;
+    pending.keys_.reserve(manifest.size());
+    std::vector<RunPlan> plans;
+    plans.reserve(manifest.size());
+    for (const WorkUnit& u : manifest.units()) {
+        pending.keys_.push_back(u.key());
+        plans.push_back(planForUnit(u));
+    }
+    pending.futures_ = session.submitAll(std::move(plans));
+    return pending;
+}
+
+ResultSet
+PendingManifest::collect()
+{
+    std::vector<UnitResult> rows;
+    rows.reserve(futures_.size());
+    for (std::size_t i = 0; i < futures_.size(); ++i) {
+        try {
+            RunOutcome outcome = futures_[i].get();
+            UnitResult r;
+            r.key = keys_[i];
+            r.run = outcome.result;
+            r.output = summarizeOutput(outcome);
+            rows.push_back(std::move(r));
+        } catch (const PlanError& err) {
+            throw EvalError("work unit '" + keys_[i] + "': " + err.what());
+        }
+    }
+    futures_.clear();
+    keys_.clear();
+    return ResultSet::fromRows(std::move(rows));
+}
+
+ResultSet
+runManifest(Session& session, const Manifest& manifest)
+{
+    return submitManifest(session, manifest).collect();
+}
+
+} // namespace gga

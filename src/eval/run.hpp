@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Manifest execution on the in-process Session executor — the fast path
+ * the worker CLI and the bench binaries share.
+ *
+ * submitManifest enqueues every unit on the session's TaskPool in
+ * manifest order (exactly the submitAll ordering the pre-manifest
+ * benches used) without blocking; PendingManifest::collect gathers the
+ * futures and returns the key-sorted ResultSet. Because every unit is an
+ * independent deterministic simulation, the results are bit-identical at
+ * any executor width and any sharding of the manifest.
+ */
+
+#ifndef GGA_EVAL_RUN_HPP
+#define GGA_EVAL_RUN_HPP
+
+#include <future>
+#include <vector>
+
+#include "api/session.hpp"
+#include "eval/manifest.hpp"
+#include "eval/result_set.hpp"
+
+namespace gga {
+
+/** Typed digest of a run's functional output (empty optional if none). */
+std::optional<OutputSummary> summarizeOutput(const RunOutcome& outcome);
+
+/** The RunPlan a work unit executes as (params default: registry preset). */
+RunPlan planForUnit(const WorkUnit& unit);
+
+/**
+ * A manifest whose runs are enqueued on a Session executor but not yet
+ * gathered. Move-only; collect() may be called once; the Session must
+ * outlive it.
+ */
+class PendingManifest
+{
+  public:
+    /** Block until every unit finishes; throws EvalError if any plan
+     *  failed validation (naming the unit). */
+    ResultSet collect();
+
+    std::size_t size() const { return keys_.size(); }
+
+  private:
+    friend PendingManifest submitManifest(Session&, const Manifest&);
+
+    std::vector<std::string> keys_;
+    std::vector<std::future<RunOutcome>> futures_;
+};
+
+/** Enqueue every unit of @p manifest on @p session's executor. */
+PendingManifest submitManifest(Session& session, const Manifest& manifest);
+
+/** submitManifest + collect: the blocking in-process fast path. */
+ResultSet runManifest(Session& session, const Manifest& manifest);
+
+} // namespace gga
+
+#endif // GGA_EVAL_RUN_HPP

@@ -78,6 +78,18 @@ class CsrGraph
     /** Average degree |E|/|V| (0 for empty graphs). */
     double avgDegree() const;
 
+    /**
+     * Resident size of the CSR arrays in bytes (GraphStore budget
+     * accounting / telemetry).
+     */
+    std::size_t
+    memoryBytes() const
+    {
+        return sizeof(CsrGraph) + rowOffsets_.size() * sizeof(EdgeId) +
+               colIndices_.size() * sizeof(VertexId) +
+               weights_.size() * sizeof(std::uint32_t);
+    }
+
     /** Raw arrays (used by the simulator to place graph data in memory). */
     const std::vector<EdgeId>& rowOffsets() const { return rowOffsets_; }
     const std::vector<VertexId>& colIndices() const { return colIndices_; }

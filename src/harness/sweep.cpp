@@ -17,19 +17,6 @@ resolveScale(double scale)
     return scale > 0.0 ? scale : evaluationScale();
 }
 
-RunPlan
-sweepPlan(const Workload& workload, const SystemConfig& cfg,
-          const SimParams& params, double scale)
-{
-    return RunPlan{}
-        .app(workload.app)
-        .graph(workload.graph)
-        .scale(scale)
-        .config(cfg)
-        .params(params)
-        .collectOutputs(false);
-}
-
 } // namespace
 
 const ConfigResult*
@@ -84,6 +71,98 @@ defaultSweepThreads()
     return threads;
 }
 
+SweepSpec
+buildSweepSpec(const Workload& workload, std::vector<SystemConfig> configs,
+               const SimParams& params, double scale)
+{
+    return buildSweepSpec(workload, std::move(configs), params, scale,
+                          predictWorkload(workload, params, scale));
+}
+
+SweepSpec
+buildSweepSpec(const Workload& workload, std::vector<SystemConfig> configs,
+               const SimParams& params, double scale,
+               const SystemConfig& predicted)
+{
+    SweepSpec spec;
+    spec.workload = workload;
+
+    const SystemConfig baseline = baselineConfig(workload);
+    if (std::find(configs.begin(), configs.end(), baseline) == configs.end())
+        configs.push_back(baseline);
+    spec.predicted = predicted;
+    // Appended last — exactly where the legacy serial path put a missing
+    // prediction, so the result ordering stays bit-identical.
+    if (std::find(configs.begin(), configs.end(), spec.predicted) ==
+        configs.end())
+        configs.push_back(spec.predicted);
+
+    // Sweeps never collect functional outputs (timing/counters only), and
+    // they omit the params override when it is just the app's registered
+    // preset so the unit keys stay canonical across callers.
+    const SimParams& preset = AppRegistry::instance().at(workload.app).params;
+    spec.units.reserve(configs.size());
+    for (const SystemConfig& cfg : configs) {
+        WorkUnit u;
+        u.app = workload.app;
+        u.preset = workload.graph;
+        u.scale = scale;
+        u.config = cfg;
+        if (!(params == preset))
+            u.params = params;
+        spec.units.push_back(std::move(u));
+    }
+    spec.configs = std::move(configs);
+    return spec;
+}
+
+SweepResult
+sweepFromResults(const SweepSpec& spec, const ResultSet& results)
+{
+    GGA_ASSERT(spec.units.size() == spec.configs.size() &&
+                   !spec.configs.empty(),
+               "malformed sweep spec for ", spec.workload.name());
+
+    SweepResult sweep;
+    sweep.workload = spec.workload;
+    sweep.predicted = spec.predicted;
+
+    // Slot i holds configs[i]'s result, so the result ordering (and the
+    // first-minimum BEST tie-break below) is identical no matter where —
+    // or across how many shards — the runs executed.
+    sweep.results.reserve(spec.configs.size());
+    for (std::size_t i = 0; i < spec.configs.size(); ++i) {
+        sweep.results.push_back(
+            ConfigResult{spec.configs[i], results.at(spec.units[i].key()).run});
+    }
+
+    const ConfigResult* best = &sweep.results.front();
+    for (const ConfigResult& r : sweep.results) {
+        if (r.run.cycles < best->run.cycles)
+            best = &r;
+    }
+    sweep.best = best->config;
+    sweep.bestCycles = best->run.cycles;
+    sweep.predictedCycles = sweep.find(sweep.predicted)->run.cycles;
+    sweep.baselineCycles =
+        sweep.find(baselineConfig(spec.workload))->run.cycles;
+    return sweep;
+}
+
+Manifest
+manifestForSpecs(const std::vector<SweepSpec>& specs)
+{
+    Manifest manifest;
+    for (const SweepSpec& spec : specs) {
+        // addUnique: overlapping sweeps (e.g. the partial-design-space
+        // full and restricted sweeps of one workload) share their common
+        // units instead of simulating them twice.
+        for (const WorkUnit& u : spec.units)
+            manifest.addUnique(u);
+    }
+    return manifest;
+}
+
 PendingSweep
 submitSweep(Session& session, const Workload& workload,
             std::vector<SystemConfig> configs,
@@ -97,91 +176,30 @@ submitSweep(Session& session, const Workload& workload,
     const SimParams run_params = params.value_or(session.options().params);
 
     PendingSweep pending;
-    pending.session_ = &session;
-    pending.workload_ = workload;
-    pending.params_ = run_params;
-    pending.scale_ = graph_scale;
-
-    const SystemConfig baseline = baselineConfig(workload);
-    if (std::find(configs.begin(), configs.end(), baseline) == configs.end())
-        configs.push_back(baseline);
-
-    std::vector<RunPlan> plans;
-    plans.reserve(configs.size());
-    for (const SystemConfig& cfg : configs)
-        plans.push_back(sweepPlan(workload, cfg, run_params, graph_scale));
-    pending.configs_ = std::move(configs);
-    pending.futures_ = session.submitAll(std::move(plans));
-    // The prediction (graph build + taxonomy profiling) rides the same
-    // executor instead of blocking this thread, so submitting 36 sweeps
-    // back to back enqueues immediately; collect() appends the
-    // predicted configuration's run if the set didn't include it.
-    pending.predicted_ = session.executor().submit(
-        [workload, run_params, graph_scale] {
-            return predictWorkload(workload, run_params, graph_scale);
-        });
+    pending.spec_ =
+        buildSweepSpec(workload, std::move(configs), run_params, graph_scale);
+    Manifest manifest;
+    // addUnique: a duplicated configuration in the caller's list is not
+    // an error (the legacy path ran it twice); the single shared unit
+    // fans back out to one result slot per list entry in
+    // sweepFromResults.
+    for (const WorkUnit& u : pending.spec_.units)
+        manifest.addUnique(u);
+    pending.pending_ = submitManifest(session, manifest);
     return pending;
 }
 
 SweepResult
 PendingSweep::collect()
 {
-    GGA_ASSERT(session_ && !configs_.empty() &&
-                   futures_.size() == configs_.size(),
+    GGA_ASSERT(pending_.size() > 0 && !spec_.units.empty(),
                "PendingSweep collected twice or never submitted");
-
-    SweepResult sweep;
-    sweep.workload = workload_;
-
-    // Resolve the prediction first: if the sweep set doesn't cover it,
-    // its run is submitted *before* draining the config futures, so it
-    // overlaps with them instead of serializing at the tail.
-    sweep.predicted = predicted_.get();
-    std::future<RunOutcome> predicted_run;
-    if (std::find(configs_.begin(), configs_.end(), sweep.predicted) ==
-        configs_.end()) {
-        predicted_run = session_->submit(
-            sweepPlan(workload_, sweep.predicted, params_, scale_));
+    try {
+        const ResultSet results = pending_.collect();
+        return sweepFromResults(spec_, results);
+    } catch (const EvalError& err) {
+        GGA_FATAL("sweep of ", spec_.workload.name(), ": ", err.what());
     }
-
-    // Slot i holds configs_[i]'s result, so the result ordering (and the
-    // first-minimum BEST tie-break below) is identical no matter how wide
-    // the executor fans out the runs.
-    sweep.results.resize(configs_.size());
-    for (std::size_t i = 0; i < futures_.size(); ++i) {
-        try {
-            RunOutcome out = futures_[i].get();
-            sweep.results[i] =
-                ConfigResult{configs_[i], std::move(out.result)};
-        } catch (const PlanError& err) {
-            GGA_FATAL("sweep of ", workload_.name(), ": ", err.what());
-        }
-    }
-    futures_.clear();
-
-    if (predicted_run.valid()) {
-        // Appended last — exactly where the serial path's ensure() put
-        // the missing prediction, so the ordering stays bit-identical.
-        try {
-            RunOutcome out = predicted_run.get();
-            sweep.results.push_back(
-                ConfigResult{sweep.predicted, std::move(out.result)});
-        } catch (const PlanError& err) {
-            GGA_FATAL("sweep of ", workload_.name(), ": ", err.what());
-        }
-    }
-    session_ = nullptr;
-
-    const ConfigResult* best = &sweep.results.front();
-    for (const ConfigResult& r : sweep.results) {
-        if (r.run.cycles < best->run.cycles)
-            best = &r;
-    }
-    sweep.best = best->config;
-    sweep.bestCycles = best->run.cycles;
-    sweep.predictedCycles = sweep.find(sweep.predicted)->run.cycles;
-    sweep.baselineCycles = sweep.find(baselineConfig(workload_))->run.cycles;
-    return sweep;
 }
 
 SweepResult
@@ -199,7 +217,7 @@ sweepWorkload(const Workload& workload, std::vector<SystemConfig> configs,
               const SimParams& params, const SweepOptions& opts)
 {
     SessionOptions session_opts;
-    // Clamp the private pool to the work available: submitSweep adds at
+    // Clamp the private pool to the work available: buildSweepSpec adds at
     // most the baseline and the prediction to @p configs, so anything
     // wider than that would sit idle for this one sweep.
     const unsigned requested =

@@ -3,23 +3,24 @@
  * Design-space sweeps: run a workload across configuration sets, find the
  * empirical BEST, and pair it with the model's PRED.
  *
- * All execution goes through a Session's shared executor
- * (Session::submitAll): submitSweep() enqueues one RunPlan per
- * configuration and returns a PendingSweep whose collect() gathers the
- * futures in configuration order — so many sweeps can be in flight on one
- * executor (parallelism across workloads *and* configurations) while each
- * SweepResult stays bit-identical to a serial run() loop.
+ * A sweep is a SweepSpec — an ordered configuration list (baseline and
+ * the model's prediction appended when missing) plus the serializable
+ * WorkUnits realizing it. Execution goes through the eval pipeline:
+ * submitSweep() turns the spec into a manifest on the session's shared
+ * executor, and sweepFromResults() reassembles a SweepResult from any
+ * ResultSet covering the spec's units — in-process or merged from worker
+ * shards — bit-identically to the old serial run() loop.
  */
 
 #ifndef GGA_HARNESS_SWEEP_HPP
 #define GGA_HARNESS_SWEEP_HPP
 
-#include <future>
 #include <optional>
 #include <vector>
 
 #include "api/session.hpp"
 #include "apps/runner.hpp"
+#include "eval/run.hpp"
 #include "harness/workloads.hpp"
 #include "model/decision_tree.hpp"
 #include "taxonomy/profile.hpp"
@@ -48,24 +49,67 @@ struct SweepResult
 };
 
 /**
- * A sweep whose per-configuration runs — and the model prediction, which
- * rides the same executor so submitting many sweeps never serializes
- * graph profiling on the caller's thread — are enqueued on a Session
- * executor but not yet gathered. Move-only; collect() may be called
- * once. The Session must outlive the PendingSweep's collect().
+ * The declarative shape of one workload's sweep: the configurations in
+ * execution order (the caller's list, then the baseline when missing,
+ * then the model's prediction when missing — the legacy serial order)
+ * and the WorkUnit realizing each, so the sweep can run in-process or be
+ * shipped to workers through a Manifest.
+ */
+struct SweepSpec
+{
+    Workload workload{};
+    SystemConfig predicted;
+    std::vector<SystemConfig> configs;
+    std::vector<WorkUnit> units; ///< parallel to configs
+};
+
+/**
+ * Build the spec for @p workload: append the baseline and the model's
+ * prediction (computed here, via the GraphStore at @p scale) when the
+ * caller's list lacks them, and realize each configuration as a WorkUnit
+ * at @p scale. @p params is omitted from the units when it matches the
+ * app's registered preset, keeping unit keys canonical.
+ */
+SweepSpec buildSweepSpec(const Workload& workload,
+                         std::vector<SystemConfig> configs,
+                         const SimParams& params, double scale);
+
+/**
+ * Same, with the full-space prediction supplied by the caller instead of
+ * computed — no graph build or profiling. Used when rebuilding a figure
+ * from a serialized manifest whose meta already records the predictions
+ * (so a merge/render host never has to construct the inputs).
+ */
+SweepSpec buildSweepSpec(const Workload& workload,
+                         std::vector<SystemConfig> configs,
+                         const SimParams& params, double scale,
+                         const SystemConfig& predicted);
+
+/**
+ * Reassemble the SweepResult from any ResultSet covering the spec's
+ * units (throws EvalError naming the first missing unit). Result order
+ * is the spec's configuration order and the BEST tie-break is the first
+ * minimum, so the outcome is identical no matter where or in how many
+ * shards the units ran.
+ */
+SweepResult sweepFromResults(const SweepSpec& spec, const ResultSet& results);
+
+/** The deduplicating union of the specs' units (shared meta untouched). */
+Manifest manifestForSpecs(const std::vector<SweepSpec>& specs);
+
+/**
+ * A sweep whose runs are enqueued on a Session executor but not yet
+ * gathered. Move-only; collect() may be called once. The Session must
+ * outlive the PendingSweep's collect().
  */
 class PendingSweep
 {
   public:
-    const Workload& workload() const { return workload_; }
+    const Workload& workload() const { return spec_.workload; }
 
     /**
-     * Block until every run finishes and assemble the SweepResult.
-     * Results are ordered by configuration exactly as submitted (with
-     * the predicted configuration's run appended last when the sweep
-     * didn't already include it, as the serial path always did), and the
-     * BEST tie-break is the first minimum in that order, so the outcome
-     * is bit-identical at any executor width.
+     * Block until every run finishes and assemble the SweepResult,
+     * bit-identical at any executor width.
      */
     SweepResult collect();
 
@@ -74,13 +118,8 @@ class PendingSweep
                                     std::vector<SystemConfig>,
                                     std::optional<SimParams>, double);
 
-    Session* session_ = nullptr;
-    Workload workload_{};
-    SimParams params_{};
-    double scale_ = 0.0;
-    std::vector<SystemConfig> configs_;
-    std::vector<std::future<RunOutcome>> futures_;
-    std::future<SystemConfig> predicted_;
+    SweepSpec spec_;
+    PendingManifest pending_;
 };
 
 /**
@@ -90,6 +129,12 @@ class PendingSweep
  * @p scale default to the session's SessionOptions (nullopt / 0), the
  * same defaults every plain run() on the session uses, so a sweep is
  * never silently inconsistent with direct runs on the same session.
+ *
+ * The model prediction (graph build + profiling) happens here, on the
+ * caller's thread, because the spec's unit list depends on it — a
+ * deliberate trade for serializable sweeps. Callers submitting many
+ * sweeps over many *distinct* inputs should pre-warm the graphs (see
+ * figureSet's concurrent warm) or use figureSet directly.
  */
 PendingSweep submitSweep(Session& session, const Workload& workload,
                          std::vector<SystemConfig> configs,

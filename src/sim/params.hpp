@@ -86,6 +86,12 @@ struct SimParams
 
     /** Panic if the parameter combination is unusable. */
     void validate() const;
+
+    /**
+     * Field-wise equality (work units omit their params override when it
+     * matches the app's registered preset).
+     */
+    bool operator==(const SimParams&) const = default;
 };
 
 } // namespace gga

@@ -37,6 +37,9 @@ struct StallBreakdown
         return busy + comp + data + sync + idle;
     }
 
+    /** Field-wise equality (determinism / shard-invariance tests). */
+    bool operator==(const StallBreakdown&) const = default;
+
     StallBreakdown&
     operator+=(const StallBreakdown& o)
     {

@@ -1,0 +1,537 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace gga {
+
+namespace {
+
+[[noreturn]] void
+typeError(const char* want)
+{
+    throw JsonError(std::string("JSON value is not ") + want);
+}
+
+void
+appendEscaped(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+formatDouble(double d)
+{
+    if (!std::isfinite(d))
+        throw JsonError("JSON cannot represent a non-finite double");
+    // to_chars: shortest round-trip representation, and — unlike an
+    // ostringstream — immune to the embedding program's global locale
+    // (a comma decimal separator would be invalid JSON).
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+    if (ec != std::errc())
+        throw JsonError("failed to format a double");
+    std::string s(buf, end);
+    // Keep a number token that parses back as a double, not an integer.
+    if (s.find_first_of(".eE") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+/** Recursive-descent parser over a string_view with position tracking. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& why)
+    {
+        throw JsonError("JSON parse error at offset " +
+                        std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return Json(parseString());
+        case 't':
+            if (consumeLiteral("true"))
+                return Json(true);
+            fail("invalid literal");
+        case 'f':
+            if (consumeLiteral("false"))
+                return Json(false);
+            fail("invalid literal");
+        case 'n':
+            if (consumeLiteral("null"))
+                return Json(nullptr);
+            fail("invalid literal");
+        default: return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            fail("invalid \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point (no surrogate pairs;
+                    // the dumper only emits \u for control characters).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                }
+                default: fail("invalid escape character");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fail("invalid number");
+        const bool integral =
+            tok.find_first_of(".eE") == std::string_view::npos;
+        if (integral && tok[0] != '-') {
+            std::uint64_t u = 0;
+            auto [p, ec] =
+                std::from_chars(tok.data(), tok.data() + tok.size(), u);
+            if (ec == std::errc() && p == tok.data() + tok.size())
+                return Json(u);
+        } else if (integral) {
+            std::int64_t i = 0;
+            auto [p, ec] =
+                std::from_chars(tok.data(), tok.data() + tok.size(), i);
+            if (ec == std::errc() && p == tok.data() + tok.size())
+                return Json(i);
+        }
+        double d = 0.0;
+        auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (ec != std::errc() || p != tok.data() + tok.size())
+            fail("invalid number");
+        return Json(d);
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json::Array out;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(out));
+        }
+        while (true) {
+            out.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return Json(std::move(out));
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json::Object out;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(out));
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            // Reject duplicate keys: at()/find() return the first match,
+            // so accepting a duplicate would let a hand-edited document
+            // carry two conflicting values and silently use one — the
+            // exact failure the strict eval-layer loaders must surface.
+            for (const auto& [existing, value] : out) {
+                if (existing == key)
+                    fail("duplicate object key '" + key + "'");
+            }
+            skipWs();
+            expect(':');
+            out.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return Json(std::move(out));
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+void
+dumpValue(const Json& v, std::string& out, int indent, int depth);
+
+void
+appendNewline(std::string& out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+}
+
+} // namespace
+
+bool
+Json::asBool() const
+{
+    if (const bool* b = std::get_if<bool>(&value_))
+        return *b;
+    typeError("a bool");
+}
+
+std::int64_t
+Json::asI64() const
+{
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&value_))
+        return *i;
+    if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+        if (*u <= static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max()))
+            return static_cast<std::int64_t>(*u);
+    }
+    typeError("a signed integer");
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_))
+        return *u;
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+        if (*i >= 0)
+            return static_cast<std::uint64_t>(*i);
+    }
+    typeError("an unsigned integer");
+}
+
+double
+Json::asDouble() const
+{
+    if (const double* d = std::get_if<double>(&value_))
+        return *d;
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&value_))
+        return static_cast<double>(*i);
+    if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_))
+        return static_cast<double>(*u);
+    typeError("a number");
+}
+
+const std::string&
+Json::asString() const
+{
+    if (const std::string* s = std::get_if<std::string>(&value_))
+        return *s;
+    typeError("a string");
+}
+
+const Json::Array&
+Json::asArray() const
+{
+    if (const Array* a = std::get_if<Array>(&value_))
+        return *a;
+    typeError("an array");
+}
+
+const Json::Object&
+Json::asObject() const
+{
+    if (const Object* o = std::get_if<Object>(&value_))
+        return *o;
+    typeError("an object");
+}
+
+Json&
+Json::push(Json v)
+{
+    if (isNull())
+        value_ = Array{};
+    if (Array* a = std::get_if<Array>(&value_)) {
+        a->push_back(std::move(v));
+        return *this;
+    }
+    typeError("an array");
+}
+
+Json&
+Json::set(std::string key, Json v)
+{
+    if (isNull())
+        value_ = Object{};
+    if (Object* o = std::get_if<Object>(&value_)) {
+        for (auto& [k, existing] : *o) {
+            if (k == key) {
+                existing = std::move(v);
+                return *this;
+            }
+        }
+        o->emplace_back(std::move(key), std::move(v));
+        return *this;
+    }
+    typeError("an object");
+}
+
+const Json*
+Json::find(std::string_view key) const
+{
+    const Object* o = std::get_if<Object>(&value_);
+    if (!o)
+        return nullptr;
+    for (const auto& [k, v] : *o) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json&
+Json::at(std::string_view key) const
+{
+    if (const Json* v = find(key))
+        return *v;
+    throw JsonError("missing JSON object member '" + std::string(key) + "'");
+}
+
+namespace {
+
+void
+dumpValue(const Json& v, std::string& out, int indent, int depth)
+{
+    if (v.isNull()) {
+        out += "null";
+    } else if (v.isBool()) {
+        out += v.asBool() ? "true" : "false";
+    } else if (v.isString()) {
+        appendEscaped(out, v.asString());
+    } else if (v.isArray()) {
+        const Json::Array& a = v.asArray();
+        if (a.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (i)
+                out += ',';
+            appendNewline(out, indent, depth + 1);
+            dumpValue(a[i], out, indent, depth + 1);
+        }
+        appendNewline(out, indent, depth);
+        out += ']';
+    } else if (v.isObject()) {
+        const Json::Object& o = v.asObject();
+        if (o.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto& [k, member] : o) {
+            if (!first)
+                out += ",";
+            first = false;
+            appendNewline(out, indent, depth + 1);
+            appendEscaped(out, k);
+            out += indent < 0 ? ":" : ": ";
+            dumpValue(member, out, indent, depth + 1);
+        }
+        appendNewline(out, indent, depth);
+        out += '}';
+    } else if (v.isU64()) {
+        out += std::to_string(v.asU64());
+    } else if (v.isI64()) {
+        out += std::to_string(v.asI64());
+    } else {
+        out += formatDouble(v.asDouble());
+    }
+}
+
+} // namespace
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpValue(*this, out, indent, 0);
+    return out;
+}
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+std::string
+readTextFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw JsonError("cannot open '" + path + "' for reading");
+    std::ostringstream os;
+    os << in.rdbuf();
+    if (in.bad())
+        throw JsonError("failed reading '" + path + "'");
+    return os.str();
+}
+
+void
+writeTextFile(const std::string& path, std::string_view text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw JsonError("cannot open '" + path + "' for writing");
+    out << text;
+    out.flush();
+    if (!out)
+        throw JsonError("failed writing '" + path + "'");
+}
+
+} // namespace gga

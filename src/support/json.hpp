@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON value type for the evaluation pipeline's serialized
+ * artifacts (work-unit manifests, per-shard result sets).
+ *
+ * Scope is deliberately narrow: exact 64-bit integers (cycles and
+ * MemStats counters must survive a round trip bit-identically),
+ * round-trippable doubles (max_digits10 formatting), order-preserving
+ * objects (so serialization is deterministic), and strict parsing that
+ * throws JsonError instead of aborting — a malformed manifest from disk
+ * is user input, not a bug.
+ */
+
+#ifndef GGA_SUPPORT_JSON_HPP
+#define GGA_SUPPORT_JSON_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace gga {
+
+/** Thrown on malformed JSON text or a type-mismatched accessor. */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string& why) : std::runtime_error(why) {}
+};
+
+class Json
+{
+  public:
+    using Array = std::vector<Json>;
+    /** Insertion-ordered key/value pairs: dumps are deterministic. */
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(std::int64_t i) : value_(i) {}
+    Json(std::uint64_t u) : value_(u) {}
+    Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+    Json(unsigned u) : value_(static_cast<std::uint64_t>(u)) {}
+    Json(double d) : value_(d) {}
+    Json(const char* s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(Array a) : value_(std::move(a)) {}
+    Json(Object o) : value_(std::move(o)) {}
+
+    static Json array() { return Json(Array{}); }
+    static Json object() { return Json(Object{}); }
+
+    bool isNull() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    bool isBool() const { return std::holds_alternative<bool>(value_); }
+    bool isString() const { return std::holds_alternative<std::string>(value_); }
+    bool isArray() const { return std::holds_alternative<Array>(value_); }
+    bool isObject() const { return std::holds_alternative<Object>(value_); }
+    bool isI64() const { return std::holds_alternative<std::int64_t>(value_); }
+    bool isU64() const { return std::holds_alternative<std::uint64_t>(value_); }
+    bool isDouble() const { return std::holds_alternative<double>(value_); }
+    bool isNumber() const { return isI64() || isU64() || isDouble(); }
+
+    /** Typed accessors; throw JsonError on a kind mismatch. */
+    bool asBool() const;
+    std::int64_t asI64() const;
+    std::uint64_t asU64() const;
+    double asDouble() const; ///< accepts any number kind
+    const std::string& asString() const;
+    const Array& asArray() const;
+    const Object& asObject() const;
+
+    /** Mutable array/object builders (convert a null value in place). */
+    Json& push(Json v);
+    Json& set(std::string key, Json v);
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Json* find(std::string_view key) const;
+
+    /** Object member that must exist; throws JsonError otherwise. */
+    const Json& at(std::string_view key) const;
+
+    bool operator==(const Json&) const = default;
+
+    /**
+     * Serialize. @p indent < 0 emits compact single-line JSON; >= 0
+     * pretty-prints with that many spaces per level. Doubles use
+     * max_digits10 so parse(dump(x)) == x.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Strict parse of a complete JSON document; throws JsonError. */
+    static Json parse(std::string_view text);
+
+  private:
+    std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+                 std::string, Array, Object>
+        value_;
+};
+
+/** Read a whole file into a string; throws JsonError on IO failure. */
+std::string readTextFile(const std::string& path);
+
+/** Write @p text to @p path (truncating); throws JsonError on IO failure. */
+void writeTextFile(const std::string& path, std::string_view text);
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_JSON_HPP

@@ -10,6 +10,7 @@
 #ifndef GGA_SUPPORT_RNG_HPP
 #define GGA_SUPPORT_RNG_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 namespace gga {
@@ -55,6 +56,27 @@ hashMix64(std::uint64_t x)
 
 /** Combine two ids into one deterministic hash (order-sensitive). */
 std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
+
+/** FNV-1a offset basis: the seed for an unchained fnv1a() call. */
+inline constexpr std::uint64_t kFnv1aBasis = 14695981039346656037ull;
+
+/**
+ * FNV-1a over a byte range, chainable via @p seed. Platform-independent
+ * (byte-order sensitive only through the caller's data layout); used for
+ * evaluation-pipeline content digests — work-unit params hashes and
+ * functional-output summaries — that must agree across hosts.
+ */
+inline std::uint64_t
+fnv1a(const void* data, std::size_t bytes, std::uint64_t seed = kFnv1aBasis)
+{
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
 
 /**
  * Xoshiro256** — fast, statistically strong generator used for all graph

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * gga_merge: deterministically merge per-shard ResultSets and render the
+ * figure their manifest describes.
+ *
+ * The merge sorts by work-unit key, rejects duplicate units (two shards
+ * reporting the same unit), and verifies complete coverage of the
+ * manifest (a lost shard is a loud error) — so the merged output is
+ * byte-identical no matter how many workers produced the parts or in
+ * which order they are listed.
+ *
+ * Usage: gga_merge --manifest FILE [--out FILE] [--render] [--csv]
+ *                  PART.json...
+ *   --out     write the merged ResultSet JSON here
+ *   --render  print the figure's tables (from the manifest's meta) to
+ *             stdout — byte-identical to the corresponding bench binary
+ *   --csv     render CSV instead of aligned text
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/result_set.hpp"
+#include "harness/figures.hpp"
+#include "support/log.hpp"
+
+int
+main(int argc, char** argv)
+{
+    std::string manifest_path;
+    std::string out;
+    bool render = false;
+    bool csv = false;
+    std::vector<std::string> part_paths;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--manifest") && i + 1 < argc) {
+            manifest_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out = argv[++i];
+        } else if (!std::strcmp(argv[i], "--render")) {
+            render = true;
+        } else if (!std::strcmp(argv[i], "--csv")) {
+            csv = true;
+        } else if (argv[i][0] != '-') {
+            part_paths.push_back(argv[i]);
+        } else {
+            GGA_FATAL("unknown argument '", argv[i],
+                      "'; usage: gga_merge --manifest FILE [--out FILE] "
+                      "[--render] [--csv] PART.json...");
+        }
+    }
+    if (manifest_path.empty())
+        GGA_FATAL("missing --manifest FILE");
+    if (part_paths.empty())
+        GGA_FATAL("no shard result files to merge");
+
+    try {
+        const gga::Manifest manifest = gga::Manifest::load(manifest_path);
+        std::vector<gga::ResultSet> parts;
+        parts.reserve(part_paths.size());
+        for (const std::string& path : part_paths)
+            parts.push_back(gga::ResultSet::load(path));
+        const gga::ResultSet merged = gga::ResultSet::merge(parts);
+        merged.verifyComplete(manifest);
+
+        if (!out.empty()) {
+            merged.save(out);
+            std::cerr << "wrote " << out << ": " << merged.size()
+                      << " units from " << parts.size() << " part(s)\n";
+        }
+        if (render) {
+            const gga::FigureSet set = gga::figureSetFromManifest(manifest);
+            std::cout << gga::renderFigure(set, merged, csv);
+        }
+    } catch (const std::exception& err) {
+        GGA_FATAL(err.what());
+    }
+    return 0;
+}

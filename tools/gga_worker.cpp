@@ -1,0 +1,123 @@
+/**
+ * @file
+ * gga_worker: execute one shard of a work-unit manifest and write the
+ * shard's ResultSet as JSON.
+ *
+ * Workers are stateless: everything a unit needs (app, input, config,
+ * hardware parameters, seed) is in the manifest, and the simulator is
+ * deterministic, so any number of workers on any hosts produce parts
+ * that merge bit-identically to a single in-process run. Execution fans
+ * out on the in-process TaskPool executor (--threads).
+ *
+ * Usage: gga_worker --manifest FILE [--shard I/N] [--policy rr|cost]
+ *                   [--out FILE] [--threads T] [--graph-budget-mb M]
+ *                   [--verbose]
+ *   --shard   this worker's slice; default 0/1 (the whole manifest)
+ *   --policy  shard assignment: rr (round-robin, default) or cost
+ *             (balance estimated edge-work)
+ *   --out     output path; default part_<I>.json
+ *   --threads executor width; default GGA_SESSION_THREADS (then 1)
+ *   --graph-budget-mb  LRU byte budget for cached input graphs, so many
+ *             workers on one host don't each hold every graph
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "eval/run.hpp"
+#include "support/log.hpp"
+
+int
+main(int argc, char** argv)
+{
+    std::string manifest_path;
+    std::string out;
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
+    gga::ShardPolicy policy = gga::ShardPolicy::RoundRobin;
+    unsigned threads = 0;
+    std::size_t budget_mb = 0;
+    bool verbose = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--manifest") && i + 1 < argc) {
+            manifest_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--shard") && i + 1 < argc) {
+            // Strict parse: a malformed index must not silently become
+            // shard 0 and burn a whole shard's compute on the wrong
+            // slice (the merge would only catch it as duplicates later).
+            const char* spec = argv[++i];
+            char* end = nullptr;
+            shard_index =
+                static_cast<std::size_t>(std::strtoul(spec, &end, 10));
+            if (end == spec || *end != '/' || spec[0] == '-')
+                GGA_FATAL("--shard wants I/N, got '", spec, "'");
+            const char* count_text = end + 1;
+            shard_count = static_cast<std::size_t>(
+                std::strtoul(count_text, &end, 10));
+            if (end == count_text || *end != '\0' || count_text[0] == '-')
+                GGA_FATAL("--shard wants I/N, got '", spec, "'");
+        } else if (!std::strcmp(argv[i], "--policy") && i + 1 < argc) {
+            const std::string p = argv[++i];
+            if (p == "rr")
+                policy = gga::ShardPolicy::RoundRobin;
+            else if (p == "cost")
+                policy = gga::ShardPolicy::ByCost;
+            else
+                GGA_FATAL("--policy wants rr or cost, got '", p, "'");
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out = argv[++i];
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            const char* text = argv[++i];
+            char* end = nullptr;
+            threads = static_cast<unsigned>(std::strtoul(text, &end, 10));
+            if (end == text || *end != '\0' || text[0] == '-')
+                GGA_FATAL("--threads wants a non-negative integer, got '",
+                          text, "'");
+        } else if (!std::strcmp(argv[i], "--graph-budget-mb") &&
+                   i + 1 < argc) {
+            const char* text = argv[++i];
+            char* end = nullptr;
+            budget_mb = static_cast<std::size_t>(
+                std::strtoul(text, &end, 10));
+            if (end == text || *end != '\0' || text[0] == '-')
+                GGA_FATAL("--graph-budget-mb wants a non-negative "
+                          "integer, got '", text, "'");
+        } else if (!std::strcmp(argv[i], "--verbose")) {
+            verbose = true;
+        } else {
+            GGA_FATAL("unknown argument '", argv[i],
+                      "'; usage: gga_worker --manifest FILE [--shard I/N] "
+                      "[--policy rr|cost] [--out FILE] [--threads T] "
+                      "[--graph-budget-mb M] [--verbose]");
+        }
+    }
+    if (manifest_path.empty())
+        GGA_FATAL("missing --manifest FILE");
+    if (out.empty())
+        out = "part_" + std::to_string(shard_index) + ".json";
+    gga::setVerbose(verbose);
+
+    try {
+        const gga::Manifest manifest = gga::Manifest::load(manifest_path);
+        const gga::Manifest shard =
+            manifest.shard(shard_index, shard_count, policy);
+
+        gga::SessionOptions opts;
+        opts.threads = threads;
+        opts.verboseRuns = verbose;
+        opts.graphBudgetBytes = budget_mb * 1024 * 1024;
+        gga::Session session(opts);
+
+        const gga::ResultSet results = gga::runManifest(session, shard);
+        results.save(out);
+        std::cout << "wrote " << out << ": " << results.size() << "/"
+                  << manifest.size() << " units (shard " << shard_index
+                  << "/" << shard_count << ", " << session.threads()
+                  << " threads)\n";
+    } catch (const std::exception& err) {
+        GGA_FATAL(err.what());
+    }
+    return 0;
+}
