@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Graph-construction benchmark: the cold-start cost a sharded worker
+ * pays per input, per preset x scale —
+ *
+ *   synth_ms          full synthesis (PairSet + parallel CSR build)
+ *   build_serial_ms   CSR construction alone, reference std::sort path
+ *   build_parallel_ms CSR construction alone, counting-sort path
+ *   snapshot load/save  the .csrbin fast path workers actually take
+ *
+ * Emits the machine-readable BENCH_graph.json tracked across PRs (via
+ * scripts/bench.sh graph); CI gates on build_speedup >= 2 for the
+ * largest preset at scale 1.0 and on snapshot loads >= 5x faster than
+ * rebuilding. Every timed variant is asserted byte-identical before the
+ * numbers are written — a fast wrong build would be worse than a slow
+ * right one.
+ *
+ * Usage: graph_build --json OUT [--scale S] [--threads T] [--reps R]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generator.hpp"
+#include "graph/presets.hpp"
+#include "graph/snapshot.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct Row
+{
+    std::string preset;
+    double scale;
+    std::uint64_t vertices;
+    std::uint64_t edges;
+    double synthMs;
+    double buildSerialMs;
+    double buildParallelMs;
+    double snapshotSaveMs;
+    double snapshotLoadMs;
+
+    double buildSpeedup() const { return buildSerialMs / buildParallelMs; }
+    double loadVsRebuild() const { return synthMs / snapshotLoadMs; }
+};
+
+Row
+benchPreset(gga::GraphPreset p, double scale, unsigned threads, int reps,
+            const std::string& tmp_dir)
+{
+    Row row;
+    row.preset = gga::presetName(p);
+    row.scale = scale;
+    const gga::GenSpec spec = gga::presetSpecScaled(p, scale);
+
+    // Full synthesis, as a cold-start worker without a snapshot pays it.
+    const auto synth_start = std::chrono::steady_clock::now();
+    const gga::CsrGraph g = gga::generateGraph(spec, threads);
+    row.synthMs = msSince(synth_start);
+    row.vertices = g.numVertices();
+    row.edges = g.numEdges();
+
+    // CSR construction alone: replay the canonical undirected pairs into
+    // a builder and time both paths over the same input, best-of-reps.
+    gga::GraphBuilder builder(g.numVertices());
+    for (gga::VertexId u = 0; u < g.numVertices(); ++u) {
+        for (gga::VertexId v : g.neighbors(u)) {
+            if (u <= v)
+                builder.addEdge(u, v);
+        }
+    }
+    row.buildSerialMs = 1e100;
+    row.buildParallelMs = 1e100;
+    gga::CsrGraph serial, parallel;
+    for (int r = 0; r < reps; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        serial = builder.buildReferenceSort(/*with_weights=*/true);
+        row.buildSerialMs = std::min(row.buildSerialMs, msSince(start));
+
+        builder.threads(threads);
+        start = std::chrono::steady_clock::now();
+        parallel = builder.build(/*with_weights=*/true);
+        row.buildParallelMs = std::min(row.buildParallelMs, msSince(start));
+    }
+    if (!(serial == parallel) || !(parallel == g))
+        GGA_FATAL("builder paths diverge on ", row.preset,
+                  " — refusing to report timings for a wrong build");
+
+    // Snapshot round trip, as a prebuilt-cache worker pays it.
+    const std::string snap =
+        tmp_dir + "/" + row.preset + "_bench.csrbin";
+    auto start = std::chrono::steady_clock::now();
+    gga::saveCsrSnapshot(snap, g);
+    row.snapshotSaveMs = msSince(start);
+    row.snapshotLoadMs = 1e100;
+    for (int r = 0; r < reps; ++r) {
+        start = std::chrono::steady_clock::now();
+        const gga::CsrGraph loaded = gga::loadCsrSnapshot(snap);
+        row.snapshotLoadMs = std::min(row.snapshotLoadMs, msSince(start));
+        if (!(loaded == g))
+            GGA_FATAL("snapshot round trip diverges on ", row.preset);
+    }
+    std::filesystem::remove(snap);
+
+    std::fprintf(stderr,
+                 "[bench] %s @ %.2f: synth %.1fms, build %.1f -> %.1fms "
+                 "(%.2fx), load %.1fms (%.1fx vs rebuild)\n",
+                 row.preset.c_str(), scale, row.synthMs, row.buildSerialMs,
+                 row.buildParallelMs, row.buildSpeedup(),
+                 row.snapshotLoadMs, row.loadVsRebuild());
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out;
+    double scale = 1.0;
+    unsigned threads = 0;
+    int reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            out = argv[++i];
+        } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+            scale = std::strtod(argv[++i], nullptr);
+            if (scale <= 0.0 || scale > 1.0)
+                GGA_FATAL("--scale wants a value in (0, 1]");
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            // Strict parse: a typo'd thread count must not silently
+            // record single-threaded numbers in the tracked JSON.
+            const char* text = argv[++i];
+            char* end = nullptr;
+            threads = static_cast<unsigned>(std::strtoul(text, &end, 10));
+            if (end == text || *end != '\0' || text[0] == '-')
+                GGA_FATAL("--threads wants a non-negative integer, got '",
+                          text, "'");
+        } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+            if (reps < 1)
+                GGA_FATAL("--reps wants a positive integer");
+        } else {
+            GGA_FATAL("unknown argument '", argv[i],
+                      "'; usage: graph_build --json OUT [--scale S] "
+                      "[--threads T] [--reps R]");
+        }
+    }
+    if (out.empty())
+        GGA_FATAL("missing --json OUT");
+    gga::setVerbose(false);
+    if (threads == 0)
+        threads = gga::defaultBuildThreads();
+
+    const std::string tmp_dir =
+        std::filesystem::temp_directory_path().string();
+    std::vector<Row> rows;
+    for (gga::GraphPreset p : gga::kAllGraphPresets)
+        rows.push_back(benchPreset(p, scale, threads, reps, tmp_dir));
+
+    // The gate row: the largest input at this scale (edge count decides).
+    const Row* largest = &rows.front();
+    for (const Row& r : rows) {
+        if (r.edges > largest->edges)
+            largest = &r;
+    }
+
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr)
+        GGA_FATAL("cannot write ", out);
+    char stamp[64];
+    const std::time_t t = std::time(nullptr);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&t));
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"suite\": \"gga graph_build\",\n");
+    std::fprintf(f, "  \"generated\": \"%s\",\n", stamp);
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"scale\": %g,\n", scale);
+    std::fprintf(f, "  \"largest_preset\": \"%s\",\n",
+                 largest->preset.c_str());
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"preset\": \"%s\", \"scale\": %g, \"vertices\": %llu, "
+            "\"edges\": %llu, \"synth_ms\": %.2f, \"build_serial_ms\": "
+            "%.2f, \"build_parallel_ms\": %.2f, \"build_speedup\": %.2f, "
+            "\"snapshot_save_ms\": %.2f, \"snapshot_load_ms\": %.2f, "
+            "\"load_vs_rebuild\": %.1f}%s\n",
+            r.preset.c_str(), r.scale,
+            static_cast<unsigned long long>(r.vertices),
+            static_cast<unsigned long long>(r.edges), r.synthMs,
+            r.buildSerialMs, r.buildParallelMs, r.buildSpeedup(),
+            r.snapshotSaveMs, r.snapshotLoadMs, r.loadVsRebuild(),
+            i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s (%s build %.2fx, load %.1fx)\n",
+                 out.c_str(), largest->preset.c_str(),
+                 largest->buildSpeedup(), largest->loadVsRebuild());
+    return 0;
+}

@@ -251,10 +251,11 @@ struct EndToEnd
 };
 
 EndToEnd
-runEndToEnd(gga::Session& session, const char* config)
+runEndToEnd(gga::Session& session, const char* app_name, gga::AppId app,
+            const char* config)
 {
     const gga::RunPlan plan = gga::RunPlan{}
-                                  .app(gga::AppId::Pr)
+                                  .app(app)
                                   .graph(benchGraph(), "bench")
                                   .config(config)
                                   .collectOutputs(false);
@@ -271,7 +272,7 @@ runEndToEnd(gga::Session& session, const char* config)
         events = out.result.events;
         best_ms = std::min(best_ms, ms);
     }
-    return EndToEnd{"PR", config, best_ms, events,
+    return EndToEnd{app_name, config, best_ms, events,
                     static_cast<double>(events) / (best_ms * 1e-3)};
 }
 
@@ -293,10 +294,17 @@ runJsonSuite(const char* path)
     const double heap_chain =
         chainedNsPerEvent<BinaryHeapEngine>(kWidth, kChainTotal);
 
-    std::fprintf(stderr, "[bench] end-to-end PR runs...\n");
+    // Three apps spanning the traversal taxonomy: PR (static pull), SSSP
+    // (static push/pull with weights), CC (dynamic, PushPull-only) — so
+    // the tracked host-events/sec trajectory covers more than one kernel
+    // shape.
+    std::fprintf(stderr, "[bench] end-to-end PR/CC/SSSP runs...\n");
     gga::Session session;
-    const EndToEnd tg0 = runEndToEnd(session, "TG0");
-    const EndToEnd sgr = runEndToEnd(session, "SGR");
+    const EndToEnd tg0 = runEndToEnd(session, "PR", gga::AppId::Pr, "TG0");
+    const EndToEnd sgr = runEndToEnd(session, "PR", gga::AppId::Pr, "SGR");
+    const EndToEnd cc = runEndToEnd(session, "CC", gga::AppId::Cc, "DG1");
+    const EndToEnd sssp =
+        runEndToEnd(session, "SSSP", gga::AppId::Sssp, "SGR");
 
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -328,15 +336,17 @@ runJsonSuite(const char* path)
                  heap_chain / wheel_chain);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"end_to_end\": [\n");
-    const EndToEnd* rows[] = {&tg0, &sgr};
-    for (std::size_t i = 0; i < 2; ++i) {
+    const EndToEnd* rows[] = {&tg0, &sgr, &cc, &sssp};
+    constexpr std::size_t kRows = sizeof rows / sizeof rows[0];
+    for (std::size_t i = 0; i < kRows; ++i) {
         std::fprintf(f,
                      "    {\"app\": \"%s\", \"config\": \"%s\", "
                      "\"wall_ms\": %.1f, \"sim_events\": %llu, "
                      "\"host_events_per_sec\": %.0f}%s\n",
                      rows[i]->app, rows[i]->config, rows[i]->wallMs,
                      static_cast<unsigned long long>(rows[i]->simEvents),
-                     rows[i]->hostEventsPerSec, i == 0 ? "," : "");
+                     rows[i]->hostEventsPerSec,
+                     i + 1 == kRows ? "" : ",");
     }
     std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");

@@ -1,17 +1,43 @@
 #!/usr/bin/env bash
-# Build the Release benchmarks and refresh BENCH_engine.json, the
-# machine-readable perf trajectory tracked across PRs (event-engine
-# events/sec, ns/event, wheel-vs-heap speedup, end-to-end run times).
+# Build the Release benchmarks and refresh the machine-readable perf
+# trajectories tracked across PRs:
+#   BENCH_engine.json  event-engine events/sec, wheel-vs-heap speedup,
+#                      end-to-end PR/CC/SSSP run times (micro_substrate)
+#   BENCH_graph.json   graph cold-start costs: synthesis, serial vs
+#                      parallel CSR build, snapshot save/load (graph_build)
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [engine|graph|all] [output.json]
+#   suite default: all (outputs land at the repo root under the names
+#   above; a second argument redirects the single-suite runs)
 #   BUILD_DIR=... to reuse/redirect the build tree (default: build-bench).
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
-out=${1:-"$repo_root/BENCH_engine.json"}
+suite=${1:-all}
 build_dir=${BUILD_DIR:-"$repo_root/build-bench"}
 
+case "$suite" in
+  engine|graph|all) ;;
+  *) echo "usage: scripts/bench.sh [engine|graph|all] [output.json]" >&2
+     exit 2 ;;
+esac
+if [[ "$suite" == all && $# -gt 1 ]]; then
+  echo "a single output path needs a single suite (engine or graph)" >&2
+  exit 2
+fi
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j --target micro_substrate
-"$build_dir/micro_substrate" --json "$out"
-echo "wrote $out"
+
+if [[ "$suite" == engine || "$suite" == all ]]; then
+  out=${2:-"$repo_root/BENCH_engine.json"}
+  cmake --build "$build_dir" -j --target micro_substrate
+  "$build_dir/micro_substrate" --json "$out"
+  echo "wrote $out"
+fi
+
+if [[ "$suite" == graph || "$suite" == all ]]; then
+  out=${2:-"$repo_root/BENCH_graph.json"}
+  cmake --build "$build_dir" -j --target graph_build
+  "$build_dir/graph_build" --json "$out"
+  echo "wrote $out"
+fi

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <utility>
 
 #include "graph/mtx_io.hpp"
+#include "graph/snapshot.hpp"
 #include "support/log.hpp"
 
 namespace gga {
@@ -42,12 +45,58 @@ GraphStore::getFile(const std::string& path)
 }
 
 GraphStore::GraphPtr
+GraphStore::buildPreset(const Key& key, const std::string& cache_dir,
+                        unsigned threads) const
+{
+    // Build at the quantized scale, not the raw argument, so every
+    // double mapping to this key yields the same graph.
+    const double scale = static_cast<double>(key.scaleUnits) /
+                         static_cast<double>(kScaleUnits);
+    const GenSpec spec = presetSpecScaled(key.preset, scale);
+    const std::string snap_path =
+        cache_dir.empty()
+            ? std::string{}
+            : cache_dir + "/" +
+                  csrSnapshotFileName(presetName(key.preset),
+                                      key.scaleUnits,
+                                      specContentHash(spec));
+    if (!snap_path.empty() && std::ifstream(snap_path).good()) {
+        try {
+            return std::make_shared<const CsrGraph>(
+                loadCsrSnapshot(snap_path));
+        } catch (const SnapshotError& err) {
+            // The file exists but won't load — damaged or torn. Say so
+            // loudly, fall back to synthesis, and overwrite it with a
+            // good copy below; the returned graph is the deterministic
+            // synthesis result either way. (A plain miss skips this
+            // branch silently: that's just a cold cache.)
+            GGA_WARN("graph snapshot rejected, resynthesizing: ",
+                     err.what());
+        }
+    }
+    auto built =
+        std::make_shared<const CsrGraph>(generateGraph(spec, threads));
+    if (!snap_path.empty()) {
+        try {
+            saveCsrSnapshot(snap_path, *built);
+        } catch (const SnapshotError& err) {
+            // Best effort: a read-only or full cache directory must not
+            // fail the run that synthesized the graph successfully.
+            GGA_WARN("cannot write graph snapshot: ", err.what());
+        }
+    }
+    return built;
+}
+
+GraphStore::GraphPtr
 GraphStore::getOrBuild(const Key& key)
 {
     std::promise<GraphPtr> promise;
     std::shared_future<GraphPtr> future;
     bool builder = false;
     std::uint64_t build_id = 0;
+    std::string cache_dir;
+    unsigned build_threads = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = cache_.find(key);
@@ -56,6 +105,11 @@ GraphStore::getOrBuild(const Key& key)
             build_id = ++useTick_;
             future = promise.get_future().share();
             cache_.emplace(key, Slot{future, 0, build_id, build_id, false});
+            // Snapshot of the knobs this build runs under: the build
+            // happens outside the lock, and a concurrent setCacheDir /
+            // setBuildThreads must not race it.
+            cache_dir = cacheDir_;
+            build_threads = buildThreads_;
         } else {
             it->second.lastUse = ++useTick_;
             future = it->second.future;
@@ -71,33 +125,17 @@ GraphStore::getOrBuild(const Key& key)
                 // (SSSP) exactly like the presets do.
                 built = std::make_shared<const CsrGraph>(
                     readMatrixMarketFile(key.path, /*with_weights=*/true));
-            } else if (key.scaleUnits >= kScaleUnits) {
-                // Alias the process-wide presetGraph memo so the
-                // full-size input exists once no matter the access path;
-                // evicting such an entry only drops the alias.
-                built = GraphPtr(&presetGraph(key.preset),
-                                 [](const CsrGraph*) {});
             } else {
-                // Build at the quantized scale, not the raw argument, so
-                // every double mapping to this key yields the same graph.
-                built = std::make_shared<const CsrGraph>(buildPresetScaled(
-                    key.preset, static_cast<double>(key.scaleUnits) /
-                                    static_cast<double>(kScaleUnits)));
+                built = buildPreset(key, cache_dir, build_threads);
             }
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 auto it = cache_.find(key);
                 // Account only the slot this build inserted: an evict()
                 // racing the build may have dropped it (and a later get()
-                // re-inserted a different build's slot). Full-scale
-                // preset aliases are accounted as 0 bytes — evicting
-                // them frees nothing (presetGraph pins the memory for
-                // the process lifetime), so charging them to the budget
-                // would just churn the entries that *can* be freed.
+                // re-inserted a different build's slot).
                 if (it != cache_.end() && it->second.id == build_id) {
-                    const bool alias =
-                        key.path.empty() && key.scaleUnits >= kScaleUnits;
-                    it->second.bytes = alias ? 0 : built->memoryBytes();
+                    it->second.bytes = built->memoryBytes();
                     it->second.ready = true;
                     totalBytes_ += it->second.bytes;
                     enforceBudgetLocked();
@@ -126,12 +164,11 @@ GraphStore::enforceBudgetLocked()
     if (budgetBytes_ == 0)
         return;
     while (totalBytes_ > budgetBytes_) {
-        // Find the least-recently-used *completed* entry that actually
-        // holds reclaimable memory. In-flight builds are skipped (their
-        // waiters hold the shared future), zero-byte entries are skipped
-        // (full-scale aliases — evicting them frees nothing), and so is
-        // the sole remaining candidate when everything else is gone — a
-        // budget smaller than one graph still keeps the current one.
+        // Find the least-recently-used *completed* entry. In-flight
+        // builds are skipped (their waiters hold the shared future), and
+        // so is the sole remaining candidate when everything else is
+        // gone — a budget smaller than one graph still keeps the current
+        // one.
         auto victim = cache_.end();
         std::size_t candidates = 0;
         for (auto it = cache_.begin(); it != cache_.end(); ++it) {
@@ -196,6 +233,27 @@ GraphStore::setBudgetBytes(std::size_t bytes)
     std::lock_guard<std::mutex> lock(mu_);
     budgetBytes_ = bytes;
     enforceBudgetLocked();
+}
+
+void
+GraphStore::setCacheDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    cacheDir_ = std::move(dir);
+}
+
+std::string
+GraphStore::cacheDir() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cacheDir_;
+}
+
+void
+GraphStore::setBuildThreads(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    buildThreads_ = threads;
 }
 
 std::size_t

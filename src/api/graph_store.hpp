@@ -2,20 +2,32 @@
  * @file
  * GraphStore: a thread-safe, process-wide cache of built input graphs —
  * synthetic presets keyed on (preset, scale) and MatrixMarket files keyed
- * on path — with explicit eviction and an optional LRU byte budget.
+ * on path — with explicit eviction, an optional LRU byte budget, and a
+ * transparent on-disk snapshot cache.
  *
  * Replaces the non-thread-safe function-local cache that used to back
  * workloadGraph(): concurrent callers (e.g. the parallel design-space
  * sweep) may request graphs from any thread; the first requester builds,
  * everyone else blocks on the same build instead of duplicating it.
  * Entries are handed out as shared_ptr so eviction never invalidates a
- * graph an in-flight run is still using.
+ * graph an in-flight run is still using. Every entry — full-scale
+ * presets included — is store-owned: nothing aliases the deprecated
+ * presetGraph() memo any more, so the budget really bounds paper-sized
+ * workers.
  *
  * The byte budget (setBudgetBytes / SessionOptions::graphBudgetBytes)
  * exists for sharded evaluation: N worker shards on one host must not
  * each hold every input graph. When the cached total exceeds the budget,
  * least-recently-used completed entries are dropped from the cache (their
  * outstanding handles stay valid; a later get() rebuilds).
+ *
+ * The snapshot cache (setCacheDir / SessionOptions::graphCacheDir /
+ * GGA_GRAPH_CACHE) short-circuits preset synthesis entirely: get() first
+ * tries the content-addressed .csrbin file for the requested (preset,
+ * scale) — see graph/snapshot.hpp — and only synthesizes (then saves,
+ * best-effort) on a miss. A corrupt or stale snapshot is rejected with a
+ * loud warning and falls back to synthesis, so the cache can never
+ * change results, only cold-start latency.
  */
 
 #ifndef GGA_API_GRAPH_STORE_HPP
@@ -45,9 +57,7 @@ class GraphStore
     {
         std::string name;  ///< preset name ("RAJ") or file path
         double scale;      ///< 1.0 for file entries
-        /** 0 while in flight, and for full-scale preset aliases (their
-         *  memory is pinned by presetGraph(), not owned by the cache). */
-        std::size_t bytes;
+        std::size_t bytes; ///< resident CSR bytes; 0 while in flight
     };
 
     /** The process-wide store. */
@@ -58,11 +68,13 @@ class GraphStore
     GraphStore& operator=(const GraphStore&) = delete;
 
     /**
-     * The preset graph at @p scale (1.0 = the paper-sized input), built on
-     * first request and cached. Thread-safe; concurrent requests for the
-     * same key share one deterministic build, and a failed build is
-     * dropped from the cache so a later request retries. Full-scale
-     * entries alias the presetGraph() memo (one copy process-wide).
+     * The preset graph at @p scale (1.0 = the paper-sized input), built
+     * on first request and cached. Thread-safe; concurrent requests for
+     * the same key share one deterministic build, and a failed build is
+     * dropped from the cache so a later request retries. When a cache
+     * directory is set, the build first tries the graph's .csrbin
+     * snapshot and saves one after synthesizing. All entries, full-scale
+     * included, are store-owned and budget-governed.
      */
     GraphPtr get(GraphPreset p, double scale = 1.0);
 
@@ -78,8 +90,7 @@ class GraphStore
     /**
      * Drop the cached entry for (p, scale). Returns whether an entry was
      * present. Outstanding GraphPtr handles stay valid; the next get()
-     * rebuilds. For full-scale entries only the alias is dropped — the
-     * underlying graph stays memoized in presetGraph().
+     * rebuilds (or reloads from the snapshot cache).
      */
     bool evict(GraphPreset p, double scale = 1.0);
 
@@ -96,17 +107,35 @@ class GraphStore
      * LRU capacity policy: keep the sum of cached graph bytes at or under
      * @p bytes by dropping least-recently-used completed entries
      * (in-flight builds are never dropped). 0 = unlimited (the default).
-     * Applies immediately and to every later insertion. Full-scale
-     * preset entries alias the process-lifetime presetGraph() memo —
-     * evicting them frees nothing — so they are accounted (and reported
-     * by stats()) as 0 bytes and never charged against the budget; the
-     * budget governs the entries whose memory eviction can actually
-     * reclaim (scaled presets and file graphs).
+     * Applies immediately and to every later insertion. Every completed
+     * entry — scaled preset, full-scale preset, or file graph — is
+     * store-owned and charged against the budget; a budget smaller than
+     * one graph still keeps the most recent entry resident.
      */
     void setBudgetBytes(std::size_t bytes);
 
     /** The current byte budget (0 = unlimited). */
     std::size_t budgetBytes() const;
+
+    /**
+     * Directory of .csrbin snapshots consulted (and written, best
+     * effort) by preset builds. Empty (the default) disables the disk
+     * cache. The directory must exist; files are content-addressed by
+     * specContentHash, so snapshots from older generator versions are
+     * ignored rather than wrongly loaded. Sharded workers pointed at one
+     * shared, prebuilt directory (gga_graphs) skip synthesis entirely.
+     */
+    void setCacheDir(std::string dir);
+
+    /** The current snapshot directory ("" = disabled). */
+    std::string cacheDir() const;
+
+    /**
+     * Worker threads for graph builds (GraphBuilder::threads). 0 = the
+     * defaultBuildThreads() environment default. Sessions set this to
+     * their executor width; builds are bit-identical at any value.
+     */
+    void setBuildThreads(unsigned threads);
 
     /** Total bytes of completed cached entries. */
     std::size_t totalBytes() const;
@@ -163,6 +192,9 @@ class GraphStore
     };
 
     GraphPtr getOrBuild(const Key& key);
+    /** Synthesize or snapshot-load the preset graph for @p key. */
+    GraphPtr buildPreset(const Key& key, const std::string& cache_dir,
+                         unsigned threads) const;
     /** Drop LRU completed entries until within budget. Caller holds mu_. */
     void enforceBudgetLocked();
 
@@ -171,6 +203,8 @@ class GraphStore
     std::uint64_t useTick_ = 0;
     std::size_t budgetBytes_ = 0;
     std::size_t totalBytes_ = 0;
+    std::string cacheDir_;
+    unsigned buildThreads_ = 0;
 };
 
 } // namespace gga

@@ -125,12 +125,29 @@ RunOutcome::name() const
     return appName + "-" + graphName + " @ " + config.name();
 }
 
+std::string
+defaultGraphCacheDir()
+{
+    const char* env = std::getenv("GGA_GRAPH_CACHE");
+    return env ? std::string(env) : std::string{};
+}
+
 Session::Session(SessionOptions opts) : opts_(std::move(opts))
 {
     GGA_ASSERT(opts_.scale > 0.0 && opts_.scale <= 1.0,
                "session scale must be in (0, 1], got ", opts_.scale);
     if (opts_.graphBudgetBytes != 0)
         graphs().setBudgetBytes(opts_.graphBudgetBytes);
+    const std::string cache_dir = opts_.graphCacheDir.empty()
+                                      ? defaultGraphCacheDir()
+                                      : opts_.graphCacheDir;
+    if (!cache_dir.empty())
+        graphs().setCacheDir(cache_dir);
+    // Give graph builds the executor's width: a cold-start worker spends
+    // its first seconds building inputs, and those builds are
+    // bit-identical at any thread count.
+    graphs().setBuildThreads(opts_.threads == 0 ? defaultSessionThreads()
+                                                : opts_.threads);
 }
 
 const AppRegistry&

@@ -172,7 +172,20 @@ struct SessionOptions
      * shards on one host can bound how many input graphs stay resident.
      */
     std::size_t graphBudgetBytes = 0;
+    /**
+     * Snapshot cache directory applied to the shared GraphStore (see
+     * GraphStore::setCacheDir): preset graphs load from prebuilt .csrbin
+     * files instead of re-synthesizing, and newly built graphs are saved
+     * back. Empty = the GGA_GRAPH_CACHE environment default (and when
+     * that is unset too, leave the store's current directory untouched).
+     * Like the budget, configured at session construction, last writer
+     * wins.
+     */
+    std::string graphCacheDir;
 };
+
+/** GGA_GRAPH_CACHE environment value, or "" when unset. */
+std::string defaultGraphCacheDir();
 
 /**
  * GGA_SESSION_THREADS environment value; falls back to the deprecated

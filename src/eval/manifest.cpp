@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+
+#include "api/graph_store.hpp"
 
 namespace gga {
 
@@ -97,6 +100,32 @@ Manifest::shard(std::size_t index, std::size_t count,
     for (std::size_t i : members[index])
         out.append(units_[i]);
     return out;
+}
+
+std::vector<Manifest::GraphInput>
+Manifest::graphInputs() const
+{
+    std::vector<GraphInput> inputs;
+    std::set<std::pair<int, std::int64_t>> seen_presets;
+    std::set<std::string> seen_paths;
+    for (const WorkUnit& u : units_) {
+        if (u.preset) {
+            // Dedup at the GraphStore's key granularity so prebuilding
+            // this list warms exactly the entries the workers will ask
+            // for — no more, no less.
+            const auto key =
+                std::make_pair(static_cast<int>(*u.preset),
+                               GraphStore::quantizeScale(u.scale));
+            if (!seen_presets.insert(key).second)
+                continue;
+            inputs.push_back(GraphInput{u.preset, {}, u.scale});
+        } else {
+            if (!seen_paths.insert(u.path).second)
+                continue;
+            inputs.push_back(GraphInput{std::nullopt, u.path, 1.0});
+        }
+    }
+    return inputs;
 }
 
 std::vector<std::string>

@@ -83,6 +83,25 @@ class Manifest
      */
     static double unitCost(const WorkUnit& unit);
 
+    /** One distinct input graph a manifest's units reference. */
+    struct GraphInput
+    {
+        std::optional<GraphPreset> preset; ///< absent for file inputs
+        std::string path;                  ///< empty for preset inputs
+        double scale = 1.0;
+
+        bool operator==(const GraphInput&) const = default;
+    };
+
+    /**
+     * The distinct input graphs this manifest's units need, in first-use
+     * order — preset inputs deduplicated at GraphStore scale-key
+     * granularity (quantizeScale), file inputs by path. The prebuild
+     * seam: gga_graphs snapshots exactly this set into a cache directory
+     * before the workers start.
+     */
+    std::vector<GraphInput> graphInputs() const;
+
     /**
      * Append one unit per hardware point in @p points for the same
      * (app, input, config) cell — the ablation-bench helper. Returns the

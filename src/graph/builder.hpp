@@ -45,8 +45,24 @@ class GraphBuilder
     void keepSelfLoops(bool keep) { keepSelfLoops_ = keep; }
 
     /**
+     * Worker threads for build(). 0 (the default) resolves through
+     * defaultBuildThreads(). The built graph is bit-identical at every
+     * thread count — threads only change wall time.
+     */
+    void threads(unsigned t) { threads_ = t; }
+
+    /**
      * Build the canonical graph: drop self-loops (unless keepSelfLoops),
      * symmetrize, dedupe, sort adjacency lists.
+     *
+     * Runs the two-pass counting-sort construction: per-thread partitions
+     * of the raw edge list are counted and scattered into per-row
+     * segments, rows are sorted/deduped in parallel, and the result is
+     * compacted — O(|E| + |V|) instead of the reference path's global
+     * O(|E| log |E|) sort, and parallel across threads(). The output is
+     * byte-identical to buildReferenceSort() at every thread count (the
+     * canonical form — sorted, deduplicated rows — does not depend on
+     * construction order; tests assert it).
      *
      * @param with_weights derive deterministic per-undirected-pair weights
      *        in [1, 31] from a hash of the endpoint ids (both directions of
@@ -55,15 +71,33 @@ class GraphBuilder
      */
     CsrGraph build(bool with_weights = false) const;
 
+    /**
+     * The pre-PR-5 serial build path (pack pairs, std::sort, unique),
+     * kept verbatim as the in-tree measurement baseline and oracle for
+     * build() — the same role the binary-heap engine plays for the time
+     * wheel in bench/micro_substrate.
+     */
+    CsrGraph buildReferenceSort(bool with_weights = false) const;
+
   private:
+    CsrGraph buildCounting(bool with_weights, unsigned threads) const;
+
     VertexId numVertices_;
     bool keepSelfLoops_ = false;
+    unsigned threads_ = 0;
     std::vector<VertexId> srcs_;
     std::vector<VertexId> dsts_;
 };
 
 /** Deterministic weight in [1, 31] for the undirected pair {u, v}. */
 std::uint32_t pairWeight(VertexId u, VertexId v);
+
+/**
+ * Build-thread default when GraphBuilder::threads was never set (or set
+ * to 0): GGA_BUILD_THREADS, else GGA_SESSION_THREADS, else 1. The
+ * GraphStore overrides this with the owning session's executor width.
+ */
+unsigned defaultBuildThreads();
 
 } // namespace gga
 

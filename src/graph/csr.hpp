@@ -95,6 +95,20 @@ class CsrGraph
     const std::vector<VertexId>& colIndices() const { return colIndices_; }
     const std::vector<std::uint32_t>& weights() const { return weights_; }
 
+    /**
+     * Exact structural equality over all CSR arrays (offsets, targets,
+     * weights). Used to verify that alternative build paths — the
+     * parallel counting-sort builder, binary snapshot round trips — are
+     * byte-identical to the reference.
+     */
+    bool
+    operator==(const CsrGraph& o) const
+    {
+        return numVertices_ == o.numVertices_ &&
+               rowOffsets_ == o.rowOffsets_ &&
+               colIndices_ == o.colIndices_ && weights_ == o.weights_;
+    }
+
     /** True if for every edge u->v the reverse edge v->u exists. */
     bool isSymmetric() const;
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <optional>
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "support/flat_map.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
 
@@ -22,7 +23,14 @@ pairKey(VertexId a, VertexId b)
     return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
-/** Mutable pair-set during synthesis: O(1) membership + random removal. */
+/**
+ * Mutable pair-set during synthesis: O(1) membership + random removal.
+ * Membership lives in open-addressing FlatSets (the node allocations of
+ * the former std::unordered_set dominated synthesis time); the list_
+ * vector preserves insertion order, which the trim loop's random indexing
+ * depends on — membership answers are order-free, so swapping the set
+ * implementation leaves every generated graph bit-identical.
+ */
 class PairSet
 {
   public:
@@ -30,7 +38,7 @@ class PairSet
     insert(VertexId a, VertexId b, bool protect)
     {
         const std::uint64_t key = pairKey(a, b);
-        if (!set_.insert(key).second)
+        if (!set_.insert(key))
             return false;
         list_.push_back(key);
         if (protect)
@@ -40,33 +48,40 @@ class PairSet
 
     bool contains(VertexId a, VertexId b) const
     {
-        return set_.count(pairKey(a, b)) != 0;
+        return set_.contains(pairKey(a, b));
     }
 
     std::size_t size() const { return list_.size(); }
 
-    /** Remove a random unprotected pair; returns it, or 0 on failure. */
-    std::uint64_t
+    /** Pre-size for @p n pairs (halves rehash churn during synthesis). */
+    void reserve(std::size_t n) { set_.reserve(n); }
+
+    /**
+     * Remove a random unprotected pair; returns it, or nullopt when 256
+     * draws all hit protected pairs. A sentinel return would be
+     * ambiguous: key 0 encodes the legal pair (0, 0).
+     */
+    std::optional<std::uint64_t>
     removeRandom(Xoshiro256StarStar& rng)
     {
         for (int attempts = 0; attempts < 256; ++attempts) {
             const std::size_t i = rng.nextBounded(list_.size());
             const std::uint64_t key = list_[i];
-            if (protected_.count(key))
+            if (protected_.contains(key))
                 continue;
             list_[i] = list_.back();
             list_.pop_back();
             set_.erase(key);
             return key;
         }
-        return 0;
+        return std::nullopt;
     }
 
     const std::vector<std::uint64_t>& pairs() const { return list_; }
 
   private:
-    std::unordered_set<std::uint64_t> set_;
-    std::unordered_set<std::uint64_t> protected_;
+    FlatSet<std::uint64_t> set_;
+    FlatSet<std::uint64_t> protected_;
     std::vector<std::uint64_t> list_;
 };
 
@@ -298,7 +313,7 @@ synthesizeGrid2d(const GenSpec& spec, Xoshiro256StarStar& rng, PairSet& pairs)
 } // namespace
 
 CsrGraph
-generateGraph(const GenSpec& spec)
+generateGraph(const GenSpec& spec, unsigned build_threads)
 {
     GGA_ASSERT(spec.numVertices > 1, "graph needs >= 2 vertices");
     GGA_ASSERT(spec.numDirectedEdges % 2 == 0,
@@ -307,6 +322,10 @@ generateGraph(const GenSpec& spec)
     Xoshiro256StarStar rng(hashCombine(spec.seed, 0x66a51ull));
 
     PairSet pairs;
+    // Synthesis overshoots the pair target before trimming; reserving a
+    // little past it keeps the membership set from rehashing mid-stream.
+    pairs.reserve(static_cast<std::size_t>(spec.numDirectedEdges / 2) +
+                  spec.numDirectedEdges / 8);
     switch (spec.topology) {
       case Topology::DegreeDriven:
         synthesizeDegreeDriven(spec, rng, pairs);
@@ -319,7 +338,7 @@ generateGraph(const GenSpec& spec)
     // Trim or pad to the exact undirected pair target.
     const std::size_t target_pairs = spec.numDirectedEdges / 2;
     while (pairs.size() > target_pairs) {
-        if (pairs.removeRandom(rng) == 0)
+        if (!pairs.removeRandom(rng))
             GGA_FATAL("cannot trim graph ", spec.name,
                       ": too many protected pairs");
     }
@@ -335,11 +354,49 @@ generateGraph(const GenSpec& spec)
     }
 
     GraphBuilder builder(spec.numVertices);
+    builder.threads(build_threads);
     for (std::uint64_t key : pairs.pairs()) {
         builder.addEdge(static_cast<VertexId>(key >> 32),
                         static_cast<VertexId>(key & 0xffffffffu));
     }
     return builder.build(/*with_weights=*/true);
+}
+
+std::uint64_t
+specContentHash(const GenSpec& spec)
+{
+    // Canonical fixed-width serialization of every generation-relevant
+    // field (name excluded: it only labels log lines). kGeneratorVersion
+    // participates so stale snapshot files are orphaned — never loaded —
+    // whenever the synthesis algorithm changes.
+    std::uint64_t h = kFnv1aBasis;
+    const auto mix_u64 = [&h](std::uint64_t x) {
+        h = fnv1a(&x, sizeof x, h);
+    };
+    const auto mix_f64 = [&h](double x) { h = fnv1a(&x, sizeof x, h); };
+    mix_u64(kGeneratorVersion);
+    mix_u64(static_cast<std::uint64_t>(spec.topology));
+    mix_u64(spec.numVertices);
+    mix_u64(spec.numDirectedEdges);
+    mix_u64(static_cast<std::uint64_t>(spec.dist));
+    mix_f64(spec.p1);
+    mix_f64(spec.p2);
+    mix_u64(spec.maxDegree);
+    mix_f64(spec.fracIntraBlock);
+    mix_f64(spec.fracBand);
+    mix_u64(spec.bandWidth);
+    mix_u64(spec.fullShuffle ? 1 : 0);
+    mix_u64(spec.scatterHubCount);
+    mix_u64(spec.hubPoolSize);
+    mix_u64(spec.backbone ? 1 : 0);
+    mix_u64(spec.backboneBand);
+    mix_u64(spec.forceTopDegrees ? 1 : 0);
+    mix_u64(spec.gridRows);
+    mix_u64(spec.gridCols);
+    mix_u64(spec.permuteLabels ? 1 : 0);
+    mix_u64(spec.seed);
+    mix_u64(spec.blockSize);
+    return h;
 }
 
 } // namespace gga

@@ -112,11 +112,29 @@ struct GenSpec
 /**
  * Synthesize the graph described by @p spec.
  *
- * Deterministic for a fixed spec (seed included). The result is directed
- * symmetric with no self-loops and exactly spec.numDirectedEdges edges,
- * with deterministic per-pair weights attached.
+ * Deterministic for a fixed spec (seed included) at every
+ * @p build_threads value: threads parallelize only the CSR construction
+ * (GraphBuilder::build), whose canonical output is order-independent.
+ * 0 = defaultBuildThreads(). The result is directed symmetric with no
+ * self-loops and exactly spec.numDirectedEdges edges, with deterministic
+ * per-pair weights attached.
  */
-CsrGraph generateGraph(const GenSpec& spec);
+CsrGraph generateGraph(const GenSpec& spec, unsigned build_threads = 0);
+
+/**
+ * Version of the synthesis algorithm, folded into specContentHash. Bump
+ * whenever a change alters any generated graph so content-addressed
+ * snapshot caches (GraphStore / .csrbin files) can never serve a graph
+ * the current code would not synthesize.
+ */
+inline constexpr std::uint64_t kGeneratorVersion = 1;
+
+/**
+ * Content hash of every generation-relevant GenSpec field (the name is
+ * excluded) chained with kGeneratorVersion — the identity under which
+ * snapshot files are addressed.
+ */
+std::uint64_t specContentHash(const GenSpec& spec);
 
 } // namespace gga
 

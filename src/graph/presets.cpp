@@ -126,6 +126,10 @@ presetSpec(GraphPreset p)
 const CsrGraph&
 presetGraph(GraphPreset p)
 {
+    // Deprecated shim: its memo serves only legacy callers of this
+    // function. The GraphStore builds and owns its own full-scale
+    // entries now, so its LRU byte budget can evict paper-sized graphs —
+    // which this process-lifetime memo used to pin.
     static std::mutex mu;
     static std::map<GraphPreset, CsrGraph> cache;
     std::lock_guard<std::mutex> lock(mu);
@@ -137,11 +141,16 @@ presetGraph(GraphPreset p)
     return it->second;
 }
 
-CsrGraph
-buildPresetScaled(GraphPreset p, double scale)
+GenSpec
+presetSpecScaled(GraphPreset p, double scale)
 {
     GGA_ASSERT(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
     GenSpec s = presetSpec(p);
+    // The full-scale spec must come out exactly as presetSpec wrote it
+    // (not rounded through the scaling arithmetic): full-scale graphs,
+    // their snapshot identities, and presetGraph() all key off it.
+    if (scale >= 1.0)
+        return s;
     const auto v = static_cast<VertexId>(
         std::max<double>(64.0, std::floor(s.numVertices * scale)));
     auto e = static_cast<EdgeId>(s.numDirectedEdges * scale);
@@ -164,7 +173,13 @@ buildPresetScaled(GraphPreset p, double scale)
         std::ceil(s.scatterHubCount * scale));
     s.hubPoolSize = std::max<std::uint32_t>(
         16, static_cast<std::uint32_t>(s.hubPoolSize * scale));
-    return generateGraph(s);
+    return s;
+}
+
+CsrGraph
+buildPresetScaled(GraphPreset p, double scale, unsigned build_threads)
+{
+    return generateGraph(presetSpecScaled(p, scale), build_threads);
 }
 
 } // namespace gga

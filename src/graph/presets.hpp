@@ -62,18 +62,30 @@ const PaperGraphStats& paperStats(GraphPreset p);
 GenSpec presetSpec(GraphPreset p);
 
 /**
- * Build (and memoize) the preset graph. The reference stays valid for the
- * lifetime of the process; generation is deterministic. Thread-safe (the
- * GraphStore aliases this memo for full-scale entries, so one copy serves
- * both access paths).
+ * Deprecated: build (and memoize, for the process lifetime) the preset
+ * graph. Prefer GraphStore::get(p), whose entries participate in the LRU
+ * byte budget and the snapshot cache — this memo pins one copy per
+ * preset until exit, which is exactly what kept --graph-budget-mb from
+ * bounding paper-sized workers. Kept as a shim for legacy callers;
+ * thread-safe and deterministic as before.
  */
 const CsrGraph& presetGraph(GraphPreset p);
 
 /**
- * Build a scaled-down variant (vertices and edges multiplied by @p scale,
- * minimum 64 vertices) for fast smoke tests. Not memoized.
+ * Generation recipe for @p p at @p scale in (0, 1]: vertices and edges
+ * multiplied by the scale (minimum 64 vertices), hub knobs rescaled,
+ * grid presets re-squared. At scale 1.0 this is exactly presetSpec(p) —
+ * the identity snapshot files and full-scale builds key off.
  */
-CsrGraph buildPresetScaled(GraphPreset p, double scale);
+GenSpec presetSpecScaled(GraphPreset p, double scale);
+
+/**
+ * Build a scaled variant: generateGraph(presetSpecScaled(p, scale)).
+ * Not memoized; bit-identical at every @p build_threads value
+ * (0 = defaultBuildThreads()).
+ */
+CsrGraph buildPresetScaled(GraphPreset p, double scale,
+                           unsigned build_threads = 0);
 
 } // namespace gga
 

@@ -1,0 +1,178 @@
+#include "graph/snapshot.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace gga {
+
+namespace {
+
+// The format stores these exact widths; widening either type is a
+// layout change and must bump kSnapshotFormatVersion.
+static_assert(sizeof(EdgeId) == 4, "snapshot layout assumes 32-bit EdgeId");
+static_assert(sizeof(VertexId) == 4,
+              "snapshot layout assumes 32-bit VertexId");
+
+constexpr char kMagic[8] = {'G', 'G', 'A', 'C', 'S', 'R', 'B', '\n'};
+/** Reads back permuted on a foreign-endian host; loaders reject it. */
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint32_t kSnapshotHasWeights = 1u << 0;
+
+struct SnapshotHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t endian;
+    std::uint32_t flags;
+    std::uint32_t reserved;
+    std::uint64_t numVertices;
+    std::uint64_t numEdges;
+    std::uint64_t checksum;
+};
+static_assert(sizeof(SnapshotHeader) == 48, "header must be packed");
+
+std::uint64_t
+blobChecksum(const std::vector<EdgeId>& offsets,
+             const std::vector<VertexId>& cols,
+             const std::vector<std::uint32_t>& weights)
+{
+    std::uint64_t h = fnv1a(offsets.data(), offsets.size() * sizeof(EdgeId));
+    h = fnv1a(cols.data(), cols.size() * sizeof(VertexId), h);
+    h = fnv1a(weights.data(), weights.size() * sizeof(std::uint32_t), h);
+    return h;
+}
+
+} // namespace
+
+std::string
+csrSnapshotFileName(const std::string& name, std::int64_t scale_units,
+                    std::uint64_t content_hash)
+{
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, "_s%lld_%016llx.csrbin",
+                  static_cast<long long>(scale_units),
+                  static_cast<unsigned long long>(content_hash));
+    return name + suffix;
+}
+
+void
+saveCsrSnapshot(const std::string& path, const CsrGraph& g)
+{
+    SnapshotHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof kMagic);
+    header.version = kSnapshotFormatVersion;
+    header.endian = kEndianTag;
+    header.flags = g.hasWeights() ? kSnapshotHasWeights : 0;
+    header.numVertices = g.numVertices();
+    header.numEdges = g.numEdges();
+    header.checksum =
+        blobChecksum(g.rowOffsets(), g.colIndices(), g.weights());
+
+    // Temp file + rename: a crashed writer can leave a stale .tmp
+    // around, but never a torn .csrbin under the final name. The pid
+    // suffix keeps concurrent workers sharing one cache directory from
+    // clobbering each other's in-flight writes.
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SnapshotError("cannot open '" + tmp + "' for writing");
+        const auto put = [&out](const void* data, std::size_t bytes) {
+            out.write(static_cast<const char*>(data),
+                      static_cast<std::streamsize>(bytes));
+        };
+        put(&header, sizeof header);
+        put(g.rowOffsets().data(), g.rowOffsets().size() * sizeof(EdgeId));
+        put(g.colIndices().data(),
+            g.colIndices().size() * sizeof(VertexId));
+        put(g.weights().data(), g.weights().size() * sizeof(std::uint32_t));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw SnapshotError("short write to '" + tmp + "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot rename '" + tmp + "' to '" + path +
+                            "'");
+    }
+}
+
+CsrGraph
+loadCsrSnapshot(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SnapshotError("cannot open snapshot '" + path + "'");
+
+    SnapshotHeader header{};
+    in.read(reinterpret_cast<char*>(&header), sizeof header);
+    if (in.gcount() != sizeof header)
+        throw SnapshotError("'" + path + "': truncated header");
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+        throw SnapshotError("'" + path + "': not a GGA CSR snapshot");
+    if (header.endian != kEndianTag)
+        throw SnapshotError("'" + path +
+                            "': written on a foreign-endian host");
+    if (header.version != kSnapshotFormatVersion)
+        throw SnapshotError(
+            "'" + path + "': format version " +
+            std::to_string(header.version) + ", this build reads " +
+            std::to_string(kSnapshotFormatVersion));
+    if (header.flags & ~kSnapshotHasWeights)
+        throw SnapshotError("'" + path + "': unknown flag bits");
+    // The dims drive allocations below; reject sizes the CSR types
+    // cannot represent before trusting them.
+    if (header.numVertices >= 0xffffffffull ||
+        header.numEdges > 0xffffffffull)
+        throw SnapshotError("'" + path + "': dimensions out of range");
+
+    const std::size_t v = static_cast<std::size_t>(header.numVertices);
+    const std::size_t e = static_cast<std::size_t>(header.numEdges);
+    const bool weighted = header.flags & kSnapshotHasWeights;
+    std::vector<EdgeId> offsets(v + 1);
+    std::vector<VertexId> cols(e);
+    std::vector<std::uint32_t> weights(weighted ? e : 0);
+    const auto get = [&in, &path](void* data, std::size_t bytes,
+                                  const char* what) {
+        in.read(static_cast<char*>(data),
+                static_cast<std::streamsize>(bytes));
+        if (static_cast<std::size_t>(in.gcount()) != bytes)
+            throw SnapshotError("'" + path + "': truncated " +
+                                std::string(what) + " blob");
+    };
+    get(offsets.data(), offsets.size() * sizeof(EdgeId), "offsets");
+    get(cols.data(), cols.size() * sizeof(VertexId), "targets");
+    if (weighted)
+        get(weights.data(), weights.size() * sizeof(std::uint32_t),
+            "weights");
+    if (in.peek() != std::ifstream::traits_type::eof())
+        throw SnapshotError("'" + path + "': trailing bytes after payload");
+
+    if (blobChecksum(offsets, cols, weights) != header.checksum)
+        throw SnapshotError("'" + path + "': content checksum mismatch");
+
+    // Structural validation before the CsrGraph constructor: its
+    // GGA_ASSERTs are fatal, and a malformed-but-checksummed file must
+    // surface as a catchable SnapshotError instead.
+    if (offsets.front() != 0 || offsets.back() != e ||
+        !std::is_sorted(offsets.begin(), offsets.end()))
+        throw SnapshotError("'" + path + "': malformed row offsets");
+    for (VertexId t : cols) {
+        if (t >= v)
+            throw SnapshotError("'" + path + "': edge target out of range");
+    }
+    return CsrGraph(std::move(offsets), std::move(cols),
+                    std::move(weights));
+}
+
+} // namespace gga

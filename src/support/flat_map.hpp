@@ -1,16 +1,17 @@
 /**
  * @file
- * FlatMap: an open-addressing hash map for the simulator's hot paths
- * (MSHR tables, the L2 ownership directory, per-word serialization
- * windows). Replaces std::unordered_map where per-operation node
- * allocation and pointer chasing dominate: storage is two flat arrays
- * (control bytes + slots), probing is linear, and clear() keeps capacity
- * so per-kernel resets are allocation-free.
+ * FlatMap/FlatSet: open-addressing hash containers for hot paths — the
+ * simulator's MSHR tables, the L2 ownership directory, per-word
+ * serialization windows, and the graph generator's pair-membership set.
+ * Replaces std::unordered_map/set where per-operation node allocation
+ * and pointer chasing dominate: storage is flat arrays (control bytes +
+ * slots), probing is linear, and clear() keeps capacity so resets are
+ * allocation-free.
  *
  * Deliberately minimal: no iterators and no rehash-stability guarantees —
  * pointers returned by find()/operator[] are invalidated by any insertion.
- * None of the simulator call sites iterate, so replacing unordered_map
- * cannot change simulated behavior.
+ * None of the call sites iterate, so replacing the std containers cannot
+ * change observable behavior.
  */
 
 #ifndef GGA_SUPPORT_FLAT_MAP_HPP
@@ -218,6 +219,167 @@ class FlatMap
 
     std::vector<std::uint8_t> ctrl_;
     std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    std::size_t tombs_ = 0;
+};
+
+/**
+ * Open-addressing hash set with tombstone deletion — FlatMap without the
+ * values. Backs the graph generator's pair-membership tests, where the
+ * std::unordered_set node allocations dominated synthesis time. Any key
+ * value is legal (occupancy lives in the control bytes, so no sentinel
+ * key is reserved).
+ *
+ * The probing/growth core deliberately mirrors FlatMap's rather than
+ * sharing it: instantiating FlatMap with an empty value type would pad
+ * every slot (key + empty struct) to twice the key size, and the
+ * generator holds millions of live u64 keys. Changes to either table's
+ * load-factor or tombstone policy belong in both.
+ */
+template <typename K, typename Hash = FlatHash<K>>
+class FlatSet
+{
+  public:
+    FlatSet() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    bool
+    contains(const K& key) const
+    {
+        if (ctrl_.empty())
+            return false;
+        std::size_t i = probeStart(key);
+        while (true) {
+            const std::uint8_t c = ctrl_[i];
+            if (c == kEmpty)
+                return false;
+            if (c == kFull && slots_[i] == key)
+                return true;
+            i = (i + 1) & mask();
+        }
+    }
+
+    /** Insert @p key; returns whether it was newly added. */
+    bool
+    insert(const K& key)
+    {
+        reserveForOne();
+        std::size_t i = probeStart(key);
+        std::size_t first_tomb = kNoSlot;
+        while (true) {
+            const std::uint8_t c = ctrl_[i];
+            if (c == kFull && slots_[i] == key)
+                return false;
+            if (c == kTomb && first_tomb == kNoSlot)
+                first_tomb = i;
+            if (c == kEmpty) {
+                if (first_tomb != kNoSlot) {
+                    i = first_tomb;
+                    --tombs_;
+                }
+                ctrl_[i] = kFull;
+                slots_[i] = key;
+                ++size_;
+                return true;
+            }
+            i = (i + 1) & mask();
+        }
+    }
+
+    /** Remove @p key; returns whether it was present. Keeps capacity. */
+    bool
+    erase(const K& key)
+    {
+        if (ctrl_.empty())
+            return false;
+        std::size_t i = probeStart(key);
+        while (true) {
+            const std::uint8_t c = ctrl_[i];
+            if (c == kEmpty)
+                return false;
+            if (c == kFull && slots_[i] == key) {
+                ctrl_[i] = kTomb;
+                --size_;
+                ++tombs_;
+                return true;
+            }
+            i = (i + 1) & mask();
+        }
+    }
+
+    /** Drop all entries but keep the table's capacity. */
+    void
+    clear()
+    {
+        std::fill(ctrl_.begin(), ctrl_.end(), kEmpty);
+        size_ = 0;
+        tombs_ = 0;
+    }
+
+    /** Pre-size the table for @p n entries without rehash churn. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = kMinCapacity;
+        while (cap * 3 < n * 4) // target load factor <= 3/4
+            cap *= 2;
+        if (cap > ctrl_.size())
+            rehash(cap);
+    }
+
+  private:
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kFull = 1;
+    static constexpr std::uint8_t kTomb = 2;
+    static constexpr std::size_t kMinCapacity = 16;
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+    std::size_t mask() const { return ctrl_.size() - 1; }
+
+    std::size_t
+    probeStart(const K& key) const
+    {
+        return Hash{}(key) & mask();
+    }
+
+    void
+    reserveForOne()
+    {
+        if (ctrl_.empty()) {
+            rehash(kMinCapacity);
+            return;
+        }
+        if ((size_ + tombs_ + 1) * 4 > ctrl_.size() * 3) {
+            const std::size_t cap = (size_ + 1) * 4 > ctrl_.size() * 3
+                                        ? ctrl_.size() * 2
+                                        : ctrl_.size();
+            rehash(cap);
+        }
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+        std::vector<K> old_slots = std::move(slots_);
+        ctrl_.assign(new_cap, kEmpty);
+        slots_.assign(new_cap, K{});
+        tombs_ = 0;
+        for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+            if (old_ctrl[i] != kFull)
+                continue;
+            std::size_t j = probeStart(old_slots[i]);
+            while (ctrl_[j] == kFull)
+                j = (j + 1) & mask();
+            ctrl_[j] = kFull;
+            slots_[j] = old_slots[i];
+        }
+    }
+
+    std::vector<std::uint8_t> ctrl_;
+    std::vector<K> slots_;
     std::size_t size_ = 0;
     std::size_t tombs_ = 0;
 };

@@ -10,12 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 
 #include "api/graph_store.hpp"
 #include "eval/run.hpp"
 #include "graph/mtx_io.hpp"
+#include "graph/snapshot.hpp"
 #include "harness/figures.hpp"
 #include "harness/sweep.hpp"
 #include "harness/workloads.hpp"
@@ -523,6 +525,165 @@ TEST(GraphStoreBudget, LruEvictionKeepsTotalUnderBudget)
 
     store.setBudgetBytes(0);
     store.clear();
+}
+
+TEST(GraphStoreBudget, FullScalePresetsAreStoreOwned)
+{
+    // Full-scale entries used to alias the process-lifetime presetGraph
+    // memo — 0 accounted bytes, unevictable, so --graph-budget-mb could
+    // never bound a paper-sized worker. They are owned now: accounted,
+    // reported, and evictable like every other entry.
+    GraphStore& store = GraphStore::instance();
+    store.clear();
+    store.setBudgetBytes(0);
+
+    const auto full = store.get(GraphPreset::Dct); // scale 1.0
+    EXPECT_EQ(full->numEdges(), paperStats(GraphPreset::Dct).edges);
+    EXPECT_EQ(store.totalBytes(), full->memoryBytes());
+    ASSERT_EQ(store.stats().size(), 1u);
+    EXPECT_EQ(store.stats().front().name, "DCT");
+    EXPECT_DOUBLE_EQ(store.stats().front().scale, 1.0);
+    EXPECT_EQ(store.stats().front().bytes, full->memoryBytes());
+
+    EXPECT_TRUE(store.evict(GraphPreset::Dct));
+    EXPECT_EQ(store.totalBytes(), 0u);
+    EXPECT_GT(full->numEdges(), 0u) << "outstanding handles stay valid";
+    store.clear();
+}
+
+TEST(GraphStoreBudget, EvictionOrdersAcrossEntryKinds)
+{
+    // Preset full-scale, scaled-preset, and MatrixMarket file entries
+    // compete under one byte budget in pure LRU order.
+    GraphStore& store = GraphStore::instance();
+    store.clear();
+    store.setBudgetBytes(0);
+
+    const std::string path = testing::TempDir() + "gga_evict_order.mtx";
+    {
+        std::ofstream out(path);
+        writeMatrixMarket(out, buildPresetScaled(GraphPreset::Raj, 0.05));
+    }
+    const auto full = store.get(GraphPreset::Dct); // oldest
+    const auto scaled = store.get(GraphPreset::Dct, 0.05);
+    const auto file = store.getFile(path); // newest
+    ASSERT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.totalBytes(), full->memoryBytes() +
+                                      scaled->memoryBytes() +
+                                      file->memoryBytes());
+    // stats() is most-recently-used first; all three kinds report bytes.
+    const auto rows = store.stats();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, path);
+    EXPECT_EQ(rows[1].name, "DCT");
+    EXPECT_EQ(rows[2].name, "DCT");
+    for (const auto& r : rows)
+        EXPECT_GT(r.bytes, 0u) << r.name;
+
+    // Touch the full-scale entry: the scaled preset becomes LRU and is
+    // the first casualty of a squeeze; the file entry goes next.
+    (void)store.get(GraphPreset::Dct);
+    store.setBudgetBytes(full->memoryBytes() + file->memoryBytes());
+    ASSERT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.stats()[0].name, "DCT");
+    EXPECT_EQ(store.stats()[1].name, path);
+    store.setBudgetBytes(full->memoryBytes());
+    ASSERT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats()[0].name, "DCT");
+    EXPECT_DOUBLE_EQ(store.stats()[0].scale, 1.0);
+
+    // Pinned-while-in-use: the evicted handles are intact, and re-gets
+    // rebuild bit-identical graphs.
+    EXPECT_EQ(*store.get(GraphPreset::Dct, 0.05), *scaled);
+    EXPECT_EQ(*store.getFile(path), *file);
+
+    store.setBudgetBytes(0);
+    store.clear();
+    std::remove(path.c_str());
+}
+
+// --- GraphStore snapshot cache -------------------------------------------
+
+TEST(GraphStoreSnapshot, CacheDirServesRejectsAndHeals)
+{
+    GraphStore& store = GraphStore::instance();
+    store.clear();
+    const std::string dir = testing::TempDir() + "gga_snap_cache";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    store.setCacheDir(dir);
+
+    // First build populates the cache with one .csrbin per entry.
+    const auto built = store.get(GraphPreset::Raj, 0.1);
+    std::vector<std::filesystem::path> files;
+    for (const auto& e : std::filesystem::directory_iterator(dir))
+        files.push_back(e.path());
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(files[0].extension(), ".csrbin");
+
+    // A fresh get() after eviction is served from the snapshot —
+    // tampering with the file's payload would be caught, so equality
+    // here means the bytes really round-tripped.
+    store.evict(GraphPreset::Raj, 0.1);
+    EXPECT_EQ(*store.get(GraphPreset::Raj, 0.1), *built);
+
+    // Corrupt the snapshot: the store must reject it, resynthesize the
+    // identical graph, and heal the cache file in passing.
+    store.evict(GraphPreset::Raj, 0.1);
+    std::filesystem::resize_file(files[0], 100);
+    EXPECT_EQ(*store.get(GraphPreset::Raj, 0.1), *built);
+    store.evict(GraphPreset::Raj, 0.1);
+    EXPECT_EQ(loadCsrSnapshot(files[0].string()), *built)
+        << "the damaged file should have been overwritten with a good copy";
+
+    // The cache is scoped to the directory setting; clearing it returns
+    // the store to pure in-memory behavior for the remaining tests.
+    store.setCacheDir("");
+    store.clear();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GraphStoreSnapshot, WorkerBudgetBoundsAFullScaleManifest)
+{
+    // The acceptance path behind `gga_worker --graph-budget-mb` on a
+    // paper-scale manifest: full-scale store-owned presets competing
+    // under a budget smaller than their sum, while the snapshot cache
+    // absorbs the rebuild cost of re-faulted entries.
+    GraphStore& store = GraphStore::instance();
+    store.clear();
+    store.setBudgetBytes(0);
+    const std::string dir = testing::TempDir() + "gga_budget_cache";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    Manifest m;
+    m.add(presetUnit(AppId::Pr, GraphPreset::Dct, "TG0", 1.0));
+    m.add(presetUnit(AppId::Pr, GraphPreset::Raj, "TG0", 1.0));
+    m.add(presetUnit(AppId::Pr, GraphPreset::Wng, "TG0", 1.0));
+    ASSERT_EQ(m.graphInputs().size(), 3u);
+
+    // Budget below the three graphs' combined footprint (DCT alone is
+    // ~1.6 MB) — the worker must shed inputs as it goes.
+    const std::size_t budget = 3u << 20;
+    SessionOptions opts;
+    opts.graphBudgetBytes = budget;
+    opts.graphCacheDir = dir;
+    Session session(opts);
+    const ResultSet results = runManifest(session, m);
+
+    EXPECT_EQ(results.size(), 3u);
+    EXPECT_EQ(store.budgetBytes(), budget);
+    EXPECT_LE(store.totalBytes(), budget)
+        << "resident graph bytes must stay bounded after a full-scale "
+           "manifest";
+    EXPECT_LT(store.size(), 3u)
+        << "a budget below the combined footprint cannot keep every "
+           "full-scale input resident";
+
+    store.setBudgetBytes(0);
+    store.setCacheDir("");
+    store.clear();
+    std::filesystem::remove_all(dir);
 }
 
 // --- per-app params presets ----------------------------------------------

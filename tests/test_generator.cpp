@@ -76,6 +76,40 @@ TEST(Generator, Deterministic)
     EXPECT_NE(a.colIndices(), c.colIndices());
 }
 
+TEST(Generator, BuildThreadCountCannotChangeTheGraph)
+{
+    // The parallel CSR construction must be invisible in the output:
+    // same spec, any thread count, bit-identical arrays (determinism
+    // goldens and snapshot caches both depend on it). Big enough that
+    // the builder really fans out (~80k pairs vs its ~16k-edges-per-
+    // worker minimum slice).
+    GenSpec spec = basicSpec();
+    spec.numVertices = 20000;
+    spec.numDirectedEdges = 160000;
+    const CsrGraph serial = generateGraph(spec, 1);
+    for (const unsigned threads : {2u, 4u, 8u})
+        EXPECT_EQ(generateGraph(spec, threads), serial)
+            << threads << " threads";
+    // And the scaled-preset path, which the GraphStore builds through.
+    EXPECT_EQ(buildPresetScaled(GraphPreset::Dct, 0.5, 1),
+              buildPresetScaled(GraphPreset::Dct, 0.5, 4));
+}
+
+TEST(Generator, SpecContentHashSeparatesSpecs)
+{
+    const GenSpec base = basicSpec();
+    GenSpec renamed = base;
+    renamed.name = "different-label";
+    EXPECT_EQ(specContentHash(base), specContentHash(renamed))
+        << "the name is a label, not content";
+    GenSpec reseeded = base;
+    reseeded.seed = 6;
+    EXPECT_NE(specContentHash(base), specContentHash(reseeded));
+    GenSpec reshaped = base;
+    reshaped.p2 = 0.71;
+    EXPECT_NE(specContentHash(base), specContentHash(reshaped));
+}
+
 TEST(Generator, BackboneConnects)
 {
     const CsrGraph g = generateGraph(basicSpec());

@@ -1,9 +1,13 @@
 /**
  * @file
- * Unit tests for the graph substrate: builder canonicalization, CSR
- * invariants, degree statistics, MatrixMarket IO.
+ * Unit tests for the graph substrate: builder canonicalization (both
+ * construction paths), CSR invariants, degree statistics, MatrixMarket
+ * IO, binary snapshot round trips.
  */
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -12,6 +16,8 @@
 #include "graph/csr.hpp"
 #include "graph/degree_stats.hpp"
 #include "graph/mtx_io.hpp"
+#include "graph/snapshot.hpp"
+#include "support/rng.hpp"
 
 namespace gga {
 namespace {
@@ -66,6 +72,67 @@ TEST(GraphBuilder, WeightsSymmetricAndInRange)
             EXPECT_EQ(w, pairWeight(g.edgeTarget(e), u));
         }
     }
+}
+
+/**
+ * A messy random multigraph — duplicates, reverses, self-loops, hubs —
+ * for exercising both builder paths over identical input.
+ */
+GraphBuilder
+messyBuilder(VertexId n, std::size_t raw_edges, std::uint64_t seed)
+{
+    GraphBuilder b(n);
+    Xoshiro256StarStar rng(seed);
+    for (std::size_t i = 0; i < raw_edges; ++i) {
+        // A skewed source distribution makes a few hub rows, so the
+        // parallel per-row phases see imbalanced work.
+        const auto u = static_cast<VertexId>(
+            rng.nextBounded((rng.next() & 3) ? n : n / 16 + 1));
+        const auto v = static_cast<VertexId>(rng.nextBounded(n));
+        b.addEdge(u, v);
+        if ((rng.next() & 7) == 0)
+            b.addEdge(u, v); // duplicate
+        if ((rng.next() & 7) == 1)
+            b.addEdge(v, u); // explicit reverse
+        if ((rng.next() & 15) == 2)
+            b.addEdge(u, u); // self-loop
+    }
+    return b;
+}
+
+TEST(GraphBuilder, CountingBuildMatchesReferenceSortAtAnyThreadCount)
+{
+    // ~79k raw edges: large enough that the builder really fans out
+    // (its minimum slice is ~16k raw edges per worker).
+    for (const bool keep_self_loops : {false, true}) {
+        for (const bool with_weights : {false, true}) {
+            GraphBuilder b = messyBuilder(997, 60000, 42);
+            b.keepSelfLoops(keep_self_loops);
+            const CsrGraph reference = b.buildReferenceSort(with_weights);
+            for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+                b.threads(threads);
+                EXPECT_EQ(b.build(with_weights), reference)
+                    << "threads=" << threads << " weights=" << with_weights
+                    << " self_loops=" << keep_self_loops;
+            }
+        }
+    }
+}
+
+TEST(GraphBuilder, CountingBuildHandlesDegenerateShapes)
+{
+    // All edges in one row (a single scatter target) and an empty
+    // builder both go through the counting path's boundary arithmetic.
+    GraphBuilder star(64);
+    for (VertexId v = 1; v < 64; ++v)
+        star.addEdge(0, v);
+    star.threads(4);
+    EXPECT_EQ(star.build(true), star.buildReferenceSort(true));
+
+    GraphBuilder empty(8);
+    empty.threads(4);
+    EXPECT_EQ(empty.build(), empty.buildReferenceSort());
+    EXPECT_EQ(empty.build().numEdges(), 0u);
 }
 
 TEST(CsrGraph, DegreesAndAccessors)
@@ -172,6 +239,106 @@ TEST(MtxIo, RoundTripsGraphWithSelfLoops)
     const CsrGraph canon = readMatrixMarket(in2);
     EXPECT_TRUE(canon.hasNoSelfLoops());
     EXPECT_EQ(canon.numEdges(), 4u);
+}
+
+// --- binary CSR snapshots -------------------------------------------------
+
+class CsrSnapshot : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = testing::TempDir() + "gga_snapshot_test.csrbin";
+        std::remove(path_.c_str());
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(CsrSnapshot, RoundTripsExactly)
+{
+    const CsrGraph g = messyBuilder(257, 4000, 7).build(true);
+    saveCsrSnapshot(path_, g);
+    EXPECT_EQ(loadCsrSnapshot(path_), g);
+
+    // Weightless graphs round-trip too (the flag bit, not a zero blob).
+    const CsrGraph bare = messyBuilder(57, 400, 8).build(false);
+    saveCsrSnapshot(path_, bare);
+    const CsrGraph loaded = loadCsrSnapshot(path_);
+    EXPECT_EQ(loaded, bare);
+    EXPECT_FALSE(loaded.hasWeights());
+}
+
+TEST_F(CsrSnapshot, RejectsMissingTruncatedAndTrailing)
+{
+    EXPECT_THROW(loadCsrSnapshot(path_), SnapshotError) << "missing file";
+
+    const CsrGraph g = messyBuilder(257, 4000, 9).build(true);
+    saveCsrSnapshot(path_, g);
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    const auto full_size = static_cast<std::size_t>(in.tellg());
+    in.close();
+    for (const std::size_t keep :
+         {std::size_t{10}, std::size_t{100}, full_size - 1}) {
+        std::filesystem::resize_file(path_, keep);
+        EXPECT_THROW(loadCsrSnapshot(path_), SnapshotError)
+            << "truncated to " << keep << " bytes";
+    }
+
+    saveCsrSnapshot(path_, g);
+    std::ofstream(path_, std::ios::binary | std::ios::app) << "junk";
+    EXPECT_THROW(loadCsrSnapshot(path_), SnapshotError) << "trailing bytes";
+}
+
+TEST_F(CsrSnapshot, RejectsBitFlipsAnywhereInThePayload)
+{
+    const CsrGraph g = messyBuilder(257, 4000, 10).build(true);
+    saveCsrSnapshot(path_, g);
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.close();
+    for (const double frac : {0.3, 0.6, 0.95}) {
+        const auto pos =
+            static_cast<std::streamoff>(48 + (size - 48) * frac);
+        std::fstream f(path_,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekg(pos);
+        const char byte = static_cast<char>(f.get() ^ 0x20);
+        f.seekp(pos);
+        f.put(byte);
+        f.close();
+        EXPECT_THROW(loadCsrSnapshot(path_), SnapshotError)
+            << "flip at offset " << pos;
+        saveCsrSnapshot(path_, g); // restore for the next round
+    }
+}
+
+TEST_F(CsrSnapshot, RejectsForeignFilesAndVersions)
+{
+    std::ofstream(path_, std::ios::binary)
+        << "%%MatrixMarket matrix coordinate pattern general\n1 1 0\n";
+    EXPECT_THROW(loadCsrSnapshot(path_), SnapshotError);
+
+    // A future format version must be refused, not misparsed.
+    const CsrGraph g = messyBuilder(57, 400, 11).build(true);
+    saveCsrSnapshot(path_, g);
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8); // the version field follows the 8-byte magic
+    const std::uint32_t future = kSnapshotFormatVersion + 1;
+    f.write(reinterpret_cast<const char*>(&future), sizeof future);
+    f.close();
+    EXPECT_THROW(loadCsrSnapshot(path_), SnapshotError);
+}
+
+TEST(CsrSnapshotName, IsContentAddressed)
+{
+    EXPECT_EQ(csrSnapshotFileName("AMZ", 1000000, 0x1234abcdu),
+              "AMZ_s1000000_000000001234abcd.csrbin");
+    EXPECT_NE(csrSnapshotFileName("AMZ", 1000000, 1),
+              csrSnapshotFileName("AMZ", 1000000, 2));
+    EXPECT_NE(csrSnapshotFileName("AMZ", 500000, 1),
+              csrSnapshotFileName("AMZ", 1000000, 1));
 }
 
 } // namespace

@@ -11,7 +11,7 @@
  *
  * Usage: gga_worker --manifest FILE [--shard I/N] [--policy rr|cost]
  *                   [--out FILE] [--threads T] [--graph-budget-mb M]
- *                   [--verbose]
+ *                   [--graph-cache DIR] [--verbose]
  *   --shard   this worker's slice; default 0/1 (the whole manifest)
  *   --policy  shard assignment: rr (round-robin, default) or cost
  *             (balance estimated edge-work)
@@ -19,6 +19,9 @@
  *   --threads executor width; default GGA_SESSION_THREADS (then 1)
  *   --graph-budget-mb  LRU byte budget for cached input graphs, so many
  *             workers on one host don't each hold every graph
+ *   --graph-cache  directory of prebuilt .csrbin snapshots (see
+ *             gga_graphs); input graphs load from it instead of being
+ *             re-synthesized at cold start. Default GGA_GRAPH_CACHE.
  */
 
 #include <cstdlib>
@@ -39,6 +42,7 @@ main(int argc, char** argv)
     gga::ShardPolicy policy = gga::ShardPolicy::RoundRobin;
     unsigned threads = 0;
     std::size_t budget_mb = 0;
+    std::string graph_cache;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--manifest") && i + 1 < argc) {
@@ -84,13 +88,16 @@ main(int argc, char** argv)
             if (end == text || *end != '\0' || text[0] == '-')
                 GGA_FATAL("--graph-budget-mb wants a non-negative "
                           "integer, got '", text, "'");
+        } else if (!std::strcmp(argv[i], "--graph-cache") && i + 1 < argc) {
+            graph_cache = argv[++i];
         } else if (!std::strcmp(argv[i], "--verbose")) {
             verbose = true;
         } else {
             GGA_FATAL("unknown argument '", argv[i],
                       "'; usage: gga_worker --manifest FILE [--shard I/N] "
                       "[--policy rr|cost] [--out FILE] [--threads T] "
-                      "[--graph-budget-mb M] [--verbose]");
+                      "[--graph-budget-mb M] [--graph-cache DIR] "
+                      "[--verbose]");
         }
     }
     if (manifest_path.empty())
@@ -108,6 +115,7 @@ main(int argc, char** argv)
         opts.threads = threads;
         opts.verboseRuns = verbose;
         opts.graphBudgetBytes = budget_mb * 1024 * 1024;
+        opts.graphCacheDir = graph_cache;
         gga::Session session(opts);
 
         const gga::ResultSet results = gga::runManifest(session, shard);
