@@ -102,6 +102,7 @@ GraphStore::getOrBuild(const Key& key)
         auto it = cache_.find(key);
         if (it == cache_.end()) {
             builder = true;
+            ++misses_;
             build_id = ++useTick_;
             future = promise.get_future().share();
             cache_.emplace(key, Slot{future, 0, build_id, build_id, false});
@@ -111,6 +112,7 @@ GraphStore::getOrBuild(const Key& key)
             cache_dir = cacheDir_;
             build_threads = buildThreads_;
         } else {
+            ++hits_;
             it->second.lastUse = ++useTick_;
             future = it->second.future;
         }
@@ -182,6 +184,7 @@ GraphStore::enforceBudgetLocked()
         if (victim == cache_.end() || candidates <= 1)
             return;
         totalBytes_ -= victim->second.bytes;
+        ++evictions_;
         cache_.erase(victim);
     }
 }
@@ -193,8 +196,10 @@ GraphStore::evict(GraphPreset p, double scale)
     auto it = cache_.find(Key{p, quantizeScale(scale), {}});
     if (it == cache_.end())
         return false;
-    if (it->second.ready)
+    if (it->second.ready) {
         totalBytes_ -= it->second.bytes;
+        ++evictions_;
+    }
     cache_.erase(it);
     return true;
 }
@@ -206,8 +211,10 @@ GraphStore::evictFile(const std::string& path)
     auto it = cache_.find(Key{GraphPreset::Amz, kScaleUnits, path});
     if (it == cache_.end())
         return false;
-    if (it->second.ready)
+    if (it->second.ready) {
         totalBytes_ -= it->second.bytes;
+        ++evictions_;
+    }
     cache_.erase(it);
     return true;
 }
@@ -216,6 +223,11 @@ void
 GraphStore::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, slot] : cache_) {
+        (void)key;
+        if (slot.ready)
+            ++evictions_;
+    }
     cache_.clear();
     totalBytes_ = 0;
 }
@@ -268,6 +280,20 @@ GraphStore::totalBytes() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return totalBytes_;
+}
+
+GraphStore::Counters
+GraphStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Counters c;
+    c.hits = hits_;
+    c.misses = misses_;
+    c.evictions = evictions_;
+    c.entries = cache_.size();
+    c.residentBytes = totalBytes_;
+    c.budgetBytes = budgetBytes_;
+    return c;
 }
 
 std::vector<GraphStore::EntryStats>

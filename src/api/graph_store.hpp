@@ -60,6 +60,23 @@ class GraphStore
         std::size_t bytes; ///< resident CSR bytes; 0 while in flight
     };
 
+    /**
+     * Lifetime counters plus a snapshot of the resident state. hits are
+     * get()/getFile() calls served from the cache (including joins on an
+     * in-flight build); misses are calls that started a build; evictions
+     * count completed entries dropped for any reason — budget pressure,
+     * explicit evict/evictFile, or clear(). Monotonic for the process.
+     */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;       ///< cached or in-flight right now
+        std::size_t residentBytes = 0; ///< == totalBytes()
+        std::size_t budgetBytes = 0;   ///< 0 = unlimited
+    };
+
     /** The process-wide store. */
     static GraphStore& instance();
 
@@ -143,6 +160,9 @@ class GraphStore
     /** Per-entry telemetry, most recently used first. */
     std::vector<EntryStats> stats() const;
 
+    /** Aggregate hit/miss/eviction counters and resident totals. */
+    Counters counters() const;
+
     /**
      * The canonical cache key for @p scale: the value rounded to 1e-6.
      * Raw doubles make terrible keys — 0.3 from the environment and a
@@ -200,6 +220,9 @@ class GraphStore
 
     mutable std::mutex mu_;
     std::map<Key, Slot> cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
     std::uint64_t useTick_ = 0;
     std::size_t budgetBytes_ = 0;
     std::size_t totalBytes_ = 0;

@@ -31,9 +31,15 @@ namespace gga {
 class AppRegistry
 {
   public:
-    /** Typed runner: fills @p out (when non-null) with the app's output. */
+    /**
+     * Typed runner: fills @p out (when non-null) with the app's output.
+     * The std::uint64_t is the run's RNG seed (see RunPlan::seed); apps
+     * without stochastic choices ignore it, and seed 0 must reproduce
+     * the paper runs exactly (the determinism goldens pin this).
+     */
     using RunnerFn = std::function<RunResult(
-        const CsrGraph&, const SystemConfig&, const SimParams&, AppOutput*)>;
+        const CsrGraph&, const SystemConfig&, const SimParams&,
+        std::uint64_t, AppOutput*)>;
 
     /** Legacy runner with raw-pointer sinks (kept for parity shims). */
     using LegacyRunnerFn = std::function<RunResult(

@@ -113,6 +113,13 @@ RunPlan::params(const SimParams& p)
 }
 
 RunPlan&
+RunPlan::seed(std::uint64_t s)
+{
+    seed_ = s;
+    return *this;
+}
+
+RunPlan&
 RunPlan::collectOutputs(bool on)
 {
     collectOutputs_ = on;
@@ -223,7 +230,7 @@ Session::tryRun(const RunPlan& plan, std::string* error)
     if (opts_.verboseRuns)
         GGA_INFORM("session: running ", out.appName, "-", out.graphName,
                    " on ", out.config.name());
-    out.result = entry.run(*graph, out.config, params,
+    out.result = entry.run(*graph, out.config, params, plan.plannedSeed(),
                            collect ? &out.output : nullptr);
     return out;
 }
@@ -255,8 +262,33 @@ Session::executor()
     std::call_once(poolOnce_, [this] {
         pool_ = std::make_unique<TaskPool>(threads());
         actualThreads_.store(pool_->width(), std::memory_order_release);
+        poolStarted_.store(true, std::memory_order_release);
     });
     return *pool_;
+}
+
+std::size_t
+Session::queueDepth() const
+{
+    if (!poolStarted_.load(std::memory_order_acquire))
+        return 0;
+    return pool_->pending();
+}
+
+unsigned
+Session::runningTasks() const
+{
+    if (!poolStarted_.load(std::memory_order_acquire))
+        return 0;
+    return pool_->active();
+}
+
+std::uint64_t
+Session::completedTasks() const
+{
+    if (!poolStarted_.load(std::memory_order_acquire))
+        return 0;
+    return pool_->completedTotal();
 }
 
 std::future<RunOutcome>

@@ -85,6 +85,14 @@ class RunPlan
     RunPlan& params(const SimParams& p);
 
     /**
+     * Seed for the app's deterministic RNG (MIS/CLR vertex priorities).
+     * 0 (the default) reproduces the paper runs exactly; distinct seeds
+     * yield distinct — but individually reproducible — runs. Apps without
+     * stochastic choices ignore it.
+     */
+    RunPlan& seed(std::uint64_t s);
+
+    /**
      * Collect the app's functional output. An explicit setting — true or
      * false — overrides the session's SessionOptions::collectOutputs
      * default; a plan that never calls this inherits it.
@@ -104,6 +112,7 @@ class RunPlan
     std::optional<SystemConfig> plannedConfig() const { return config_; }
     const std::string& badConfigName() const { return badConfigName_; }
     std::optional<SimParams> plannedParams() const { return params_; }
+    std::uint64_t plannedSeed() const { return seed_; }
     /** nullopt = inherit the session default. */
     std::optional<bool> outputsRequested() const { return collectOutputs_; }
 
@@ -117,6 +126,7 @@ class RunPlan
     std::optional<SystemConfig> config_;
     std::string badConfigName_;
     std::optional<SimParams> params_;
+    std::uint64_t seed_ = 0;
     std::optional<bool> collectOutputs_;
 };
 
@@ -261,11 +271,25 @@ class Session
     /** The shared executor, started on first use. */
     TaskPool& executor();
 
+    /**
+     * Telemetry for resident services: tasks posted to the executor but
+     * not yet started, and tasks currently running. Zero before the
+     * executor's lazy start (queue depth of a pool that doesn't exist).
+     */
+    std::size_t queueDepth() const;
+    unsigned runningTasks() const;
+
+    /** Tasks the executor has finished since it started (monotonic). */
+    std::uint64_t completedTasks() const;
+
   private:
     SessionOptions opts_;
     std::once_flag poolOnce_;
     std::unique_ptr<TaskPool> pool_;
     std::atomic<unsigned> actualThreads_{0}; ///< pool width once started
+    /** Set (release) after pool_ is constructed; lets const telemetry
+     *  readers check for the pool without racing the lazy start. */
+    std::atomic<bool> poolStarted_{false};
 };
 
 } // namespace gga

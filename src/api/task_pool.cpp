@@ -55,6 +55,25 @@ TaskPool::post(std::function<void()> job)
     cv_.notify_one();
 }
 
+std::size_t
+TaskPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+unsigned
+TaskPool::active() const
+{
+    return active_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TaskPool::completedTotal() const
+{
+    return completed_.load(std::memory_order_relaxed);
+}
+
 void
 TaskPool::workerLoop()
 {
@@ -68,9 +87,12 @@ TaskPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
+        active_.fetch_add(1, std::memory_order_relaxed);
         // A submit() job never throws (packaged_task captures); a raw
         // post() job that throws would terminate, same as std::thread.
         job();
+        active_.fetch_sub(1, std::memory_order_relaxed);
+        completed_.fetch_add(1, std::memory_order_relaxed);
     }
 }
 

@@ -17,7 +17,9 @@
 #ifndef GGA_API_TASK_POOL_HPP
 #define GGA_API_TASK_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -49,6 +51,15 @@ class TaskPool
     /** Number of worker threads. */
     unsigned width() const { return static_cast<unsigned>(workers_.size()); }
 
+    /** Tasks posted but not yet picked up by a worker (queue depth). */
+    std::size_t pending() const;
+
+    /** Tasks currently executing on a worker. */
+    unsigned active() const;
+
+    /** Tasks finished since construction (monotonic). */
+    std::uint64_t completedTotal() const;
+
     /** Enqueue fire-and-forget work. */
     void post(std::function<void()> job);
 
@@ -73,11 +84,13 @@ class TaskPool
   private:
     void workerLoop();
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
+    std::atomic<unsigned> active_{0};
+    std::atomic<std::uint64_t> completed_{0};
 };
 
 } // namespace gga

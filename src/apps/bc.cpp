@@ -483,8 +483,9 @@ namespace {
 /** Adapter from the legacy sink signature to the typed AppOutput. */
 RunResult
 runBcTyped(const CsrGraph& g, const SystemConfig& cfg,
-           const SimParams& params, AppOutput* out)
+           const SimParams& params, std::uint64_t seed, AppOutput* out)
 {
+    (void)seed; // BC's source is fixed; no stochastic choices
     if (!out)
         return runBc(g, cfg, params, nullptr);
     BcOutput typed;

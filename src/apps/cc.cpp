@@ -209,8 +209,9 @@ namespace {
 /** Adapter from the legacy sink signature to the typed AppOutput. */
 RunResult
 runCcTyped(const CsrGraph& g, const SystemConfig& cfg,
-           const SimParams& params, AppOutput* out)
+           const SimParams& params, std::uint64_t seed, AppOutput* out)
 {
+    (void)seed; // CC has no stochastic choices
     if (!out)
         return runCc(g, cfg, params, nullptr);
     CcOutput typed;

@@ -22,8 +22,9 @@ namespace {
 
 struct ClrState
 {
-    ClrState(Gpu& gpu, const CsrGraph& graph)
+    ClrState(Gpu& gpu, const CsrGraph& graph, std::uint64_t seed_)
         : g(graph),
+          seed(seed_),
           gb(gpu.mem(), graph),
           color(gpu.mem(), graph.numVertices(), "clr.color"),
           pri(gpu.mem(), graph.numVertices(), "clr.pri"),
@@ -33,6 +34,7 @@ struct ClrState
     }
 
     const CsrGraph& g;
+    std::uint64_t seed;
     GraphBuffers gb;
     DeviceBuffer<std::uint32_t> color;
     DeviceBuffer<std::uint32_t> pri;
@@ -41,14 +43,17 @@ struct ClrState
     std::uint32_t round = 0;
 };
 
-/** Unique deterministic 32-bit priority (hash above, id below). */
+/**
+ * Unique deterministic 32-bit priority (hash above, id below). @p seed
+ * perturbs the hashed bits only; seed 0 reproduces the unseeded runs.
+ */
 std::uint32_t
-priorityOf(VertexId v, VertexId n)
+priorityOf(VertexId v, VertexId n, std::uint64_t seed)
 {
     std::uint32_t id_bits = 1;
     while ((1u << id_bits) < n)
         ++id_bits;
-    return (static_cast<std::uint32_t>(hashMix64(v ^ 0x636c72ull))
+    return (static_cast<std::uint32_t>(hashMix64(v ^ 0x636c72ull ^ seed))
             << id_bits) |
            v;
 }
@@ -61,7 +66,7 @@ clrInit(Warp& w, ClrState& st)
     for (std::uint32_t l = 0; l < lanes; ++l) {
         const VertexId v = v0 + l;
         st.color[v] = kInfDist;
-        st.pri[v] = priorityOf(v, st.g.numVertices());
+        st.pri[v] = priorityOf(v, st.g.numVertices(), st.seed);
         st.nbrMax[v] = 0;
     }
     AddrSet wr;
@@ -219,12 +224,12 @@ clrAssign(Warp& w, ClrState& st)
 
 RunResult
 runClr(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
-       AppOutputs* out)
+       AppOutputs* out, std::uint64_t seed)
 {
     GGA_ASSERT(cfg.prop != UpdateProp::PushPull,
                "CLR has a static traversal: use Push or Pull");
     Gpu gpu(params, cfg.coh, cfg.con);
-    ClrState st(gpu, g);
+    ClrState st(gpu, g, seed);
     const VertexId n = g.numVertices();
     const bool push = cfg.prop == UpdateProp::Push;
 
@@ -258,14 +263,14 @@ namespace {
 /** Adapter from the legacy sink signature to the typed AppOutput. */
 RunResult
 runClrTyped(const CsrGraph& g, const SystemConfig& cfg,
-            const SimParams& params, AppOutput* out)
+            const SimParams& params, std::uint64_t seed, AppOutput* out)
 {
     if (!out)
-        return runClr(g, cfg, params, nullptr);
+        return runClr(g, cfg, params, nullptr, seed);
     ClrOutput typed;
     AppOutputs sinks;
     sinks.colors = &typed.colors;
-    const RunResult r = runClr(g, cfg, params, &sinks);
+    const RunResult r = runClr(g, cfg, params, &sinks, seed);
     *out = std::move(typed);
     return r;
 }
@@ -282,7 +287,10 @@ registerClrApp(AppRegistry& reg)
     e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a static traversal and requires Push or Pull";
     e.run = &runClrTyped;
-    e.runLegacy = &runClr;
+    e.runLegacy = [](const CsrGraph& g, const SystemConfig& cfg,
+                     const SimParams& params, AppOutputs* out) {
+        return runClr(g, cfg, params, out);
+    };
     e.validConfig = [](const SystemConfig& cfg) {
         return cfg.prop != UpdateProp::PushPull;
     };

@@ -26,8 +26,9 @@ constexpr std::uint32_t kOut = 2;
 
 struct MisState
 {
-    MisState(Gpu& gpu, const CsrGraph& graph)
+    MisState(Gpu& gpu, const CsrGraph& graph, std::uint64_t seed_)
         : g(graph),
+          seed(seed_),
           gb(gpu.mem(), graph),
           state(gpu.mem(), graph.numVertices(), "mis.state"),
           pri(gpu.mem(), graph.numVertices(), "mis.pri"),
@@ -38,6 +39,7 @@ struct MisState
     }
 
     const CsrGraph& g;
+    std::uint64_t seed;
     GraphBuffers gb;
     DeviceBuffer<std::uint32_t> state;
     DeviceBuffer<std::uint32_t> pri;
@@ -49,15 +51,17 @@ struct MisState
 
 /**
  * Unique deterministic 32-bit priority: hashed bits above, the id below
- * (Pannotia-style int priorities, made collision-free).
+ * (Pannotia-style int priorities, made collision-free). @p seed perturbs
+ * the hashed bits only — uniqueness comes from the id bits — and seed 0
+ * reproduces the unseeded paper runs exactly.
  */
 std::uint32_t
-priorityOf(VertexId v, VertexId n)
+priorityOf(VertexId v, VertexId n, std::uint64_t seed)
 {
     std::uint32_t id_bits = 1;
     while ((1u << id_bits) < n)
         ++id_bits;
-    return (static_cast<std::uint32_t>(hashMix64(v)) << id_bits) | v;
+    return (static_cast<std::uint32_t>(hashMix64(v ^ seed)) << id_bits) | v;
 }
 
 WarpTask
@@ -68,7 +72,7 @@ misInit(Warp& w, MisState& st)
     for (std::uint32_t l = 0; l < lanes; ++l) {
         const VertexId v = v0 + l;
         st.state[v] = kUndecided;
-        st.pri[v] = priorityOf(v, st.g.numVertices());
+        st.pri[v] = priorityOf(v, st.g.numVertices(), st.seed);
         st.winnerRound[v] = kInfDist;
     }
     AddrSet wr;
@@ -330,12 +334,12 @@ misOutPull(Warp& w, MisState& st)
 
 RunResult
 runMis(const CsrGraph& g, const SystemConfig& cfg, const SimParams& params,
-       AppOutputs* out)
+       AppOutputs* out, std::uint64_t seed)
 {
     GGA_ASSERT(cfg.prop != UpdateProp::PushPull,
                "MIS has a static traversal: use Push or Pull");
     Gpu gpu(params, cfg.coh, cfg.con);
-    MisState st(gpu, g);
+    MisState st(gpu, g, seed);
     const VertexId n = g.numVertices();
     const bool push = cfg.prop == UpdateProp::Push;
 
@@ -375,14 +379,14 @@ namespace {
 /** Adapter from the legacy sink signature to the typed AppOutput. */
 RunResult
 runMisTyped(const CsrGraph& g, const SystemConfig& cfg,
-            const SimParams& params, AppOutput* out)
+            const SimParams& params, std::uint64_t seed, AppOutput* out)
 {
     if (!out)
-        return runMis(g, cfg, params, nullptr);
+        return runMis(g, cfg, params, nullptr, seed);
     MisOutput typed;
     AppOutputs sinks;
     sinks.misState = &typed.state;
-    const RunResult r = runMis(g, cfg, params, &sinks);
+    const RunResult r = runMis(g, cfg, params, &sinks, seed);
     *out = std::move(typed);
     return r;
 }
@@ -399,7 +403,10 @@ registerMisApp(AppRegistry& reg)
     e.params = SimParams{}; // paper Table IV hardware point
     e.configRequirement = "has a static traversal and requires Push or Pull";
     e.run = &runMisTyped;
-    e.runLegacy = &runMis;
+    e.runLegacy = [](const CsrGraph& g, const SystemConfig& cfg,
+                     const SimParams& params, AppOutputs* out) {
+        return runMis(g, cfg, params, out);
+    };
     e.validConfig = [](const SystemConfig& cfg) {
         return cfg.prop != UpdateProp::PushPull;
     };

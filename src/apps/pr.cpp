@@ -214,8 +214,9 @@ namespace {
 /** Adapter from the legacy sink signature to the typed AppOutput. */
 RunResult
 runPrTyped(const CsrGraph& g, const SystemConfig& cfg,
-           const SimParams& params, AppOutput* out)
+           const SimParams& params, std::uint64_t seed, AppOutput* out)
 {
+    (void)seed; // PageRank has no stochastic choices
     if (!out)
         return runPr(g, cfg, params, nullptr);
     PrOutput typed;

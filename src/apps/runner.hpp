@@ -13,6 +13,8 @@
 #ifndef GGA_APPS_RUNNER_HPP
 #define GGA_APPS_RUNNER_HPP
 
+#include <cstdint>
+
 #include "apps/app.hpp"
 #include "graph/csr.hpp"
 #include "model/algo_props.hpp"
@@ -29,13 +31,21 @@ RunResult runPr(const CsrGraph& g, const SystemConfig& cfg,
 RunResult runSssp(const CsrGraph& g, const SystemConfig& cfg,
                   const SimParams& params, AppOutputs* out = nullptr);
 
-/** Maximal independent set: Luby rounds with hashed priorities. */
+/**
+ * Maximal independent set: Luby rounds with hashed priorities. @p seed
+ * perturbs the priority hash; 0 reproduces the paper runs exactly.
+ */
 RunResult runMis(const CsrGraph& g, const SystemConfig& cfg,
-                 const SimParams& params, AppOutputs* out = nullptr);
+                 const SimParams& params, AppOutputs* out = nullptr,
+                 std::uint64_t seed = 0);
 
-/** Greedy parallel graph coloring (Jones-Plassmann style rounds). */
+/**
+ * Greedy parallel graph coloring (Jones-Plassmann style rounds). @p seed
+ * perturbs the priority hash; 0 reproduces the paper runs exactly.
+ */
 RunResult runClr(const CsrGraph& g, const SystemConfig& cfg,
-                 const SimParams& params, AppOutputs* out = nullptr);
+                 const SimParams& params, AppOutputs* out = nullptr,
+                 std::uint64_t seed = 0);
 
 /** Betweenness centrality pieces for source 0 (forward + backward). */
 RunResult runBc(const CsrGraph& g, const SystemConfig& cfg,

@@ -262,8 +262,9 @@ namespace {
 /** Adapter from the legacy sink signature to the typed AppOutput. */
 RunResult
 runSsspTyped(const CsrGraph& g, const SystemConfig& cfg,
-             const SimParams& params, AppOutput* out)
+             const SimParams& params, std::uint64_t seed, AppOutput* out)
 {
+    (void)seed; // SSSP's source is fixed; no stochastic choices
     if (!out)
         return runSssp(g, cfg, params, nullptr);
     SsspOutput typed;

@@ -1,5 +1,9 @@
 #include "eval/run.hpp"
 
+#include <chrono>
+#include <memory>
+
+#include "support/log.hpp"
 #include "support/rng.hpp"
 
 namespace gga {
@@ -65,6 +69,7 @@ planForUnit(const WorkUnit& unit)
         plan.params(e->params);
     }
     plan.collectOutputs(unit.collectOutputs);
+    plan.seed(unit.seed);
     return plan;
 }
 
@@ -109,6 +114,46 @@ ResultSet
 runManifest(Session& session, const Manifest& manifest)
 {
     return submitManifest(session, manifest).collect();
+}
+
+void
+submitManifestStreamed(Session& session, const Manifest& manifest,
+                       std::function<void(const UnitEvent&)> onUnit)
+{
+    GGA_ASSERT(onUnit, "submitManifestStreamed needs a callback");
+    // One shared copy of the callback: the per-unit lambdas must stay
+    // copyable for std::function, and the caller's functor may be heavy.
+    auto cb = std::make_shared<std::function<void(const UnitEvent&)>>(
+        std::move(onUnit));
+    std::size_t index = 0;
+    for (const WorkUnit& u : manifest.units()) {
+        session.executor().post(
+            [&session, cb, index, key = u.key(), plan = planForUnit(u)] {
+                UnitEvent ev;
+                ev.index = index;
+                ev.key = key;
+                std::string why;
+                const auto t0 = std::chrono::steady_clock::now();
+                if (std::optional<RunOutcome> out =
+                        session.tryRun(plan, &why)) {
+                    UnitResult r;
+                    r.key = key;
+                    r.run = out->result;
+                    r.output = summarizeOutput(*out);
+                    ev.result = std::move(r);
+                    ev.appName = out->appName;
+                } else {
+                    ev.error =
+                        "work unit '" + key + "': invalid run plan: " + why;
+                }
+                ev.millis =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                (*cb)(ev);
+            });
+        ++index;
+    }
 }
 
 } // namespace gga

@@ -14,6 +14,7 @@
 #ifndef GGA_EVAL_RUN_HPP
 #define GGA_EVAL_RUN_HPP
 
+#include <functional>
 #include <future>
 #include <vector>
 
@@ -55,6 +56,37 @@ PendingManifest submitManifest(Session& session, const Manifest& manifest);
 
 /** submitManifest + collect: the blocking in-process fast path. */
 ResultSet runManifest(Session& session, const Manifest& manifest);
+
+/**
+ * One unit's completion notice for streaming consumers (the resident
+ * service's job table). Exactly one of result/error is meaningful: on
+ * success @c result is set; when the unit's plan fails validation
+ * @c error carries the reason and @c result stays empty.
+ */
+struct UnitEvent
+{
+    std::size_t index = 0; ///< position in the manifest
+    std::string key;       ///< WorkUnit::key()
+    std::optional<UnitResult> result;
+    std::string error;
+    std::string appName; ///< "PR", "BC", ... (empty on a plan error)
+    double millis = 0;   ///< wall time of the unit's run
+};
+
+/**
+ * Enqueue every unit of @p manifest and invoke @p onUnit as each one
+ * finishes, in completion order (not manifest order). The callback runs
+ * on executor threads — possibly several at once — so it must be
+ * thread-safe and cheap; a unit whose plan fails validation produces an
+ * error event instead of throwing. The caller is responsible for
+ * counting manifest.size() events before tearing anything down, and the
+ * Session (plus whatever the callback captures) must stay alive until
+ * then. UnitResult rows carry the same data as runManifest's, so a
+ * ResultSet assembled from the events is bit-identical to the blocking
+ * path's.
+ */
+void submitManifestStreamed(Session& session, const Manifest& manifest,
+                            std::function<void(const UnitEvent&)> onUnit);
 
 } // namespace gga
 

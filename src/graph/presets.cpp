@@ -123,32 +123,14 @@ presetSpec(GraphPreset p)
     return s;
 }
 
-const CsrGraph&
-presetGraph(GraphPreset p)
-{
-    // Deprecated shim: its memo serves only legacy callers of this
-    // function. The GraphStore builds and owns its own full-scale
-    // entries now, so its LRU byte budget can evict paper-sized graphs —
-    // which this process-lifetime memo used to pin.
-    static std::mutex mu;
-    static std::map<GraphPreset, CsrGraph> cache;
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(p);
-    if (it == cache.end()) {
-        GGA_INFORM("generating preset graph ", presetName(p));
-        it = cache.emplace(p, generateGraph(presetSpec(p))).first;
-    }
-    return it->second;
-}
-
 GenSpec
 presetSpecScaled(GraphPreset p, double scale)
 {
     GGA_ASSERT(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
     GenSpec s = presetSpec(p);
     // The full-scale spec must come out exactly as presetSpec wrote it
-    // (not rounded through the scaling arithmetic): full-scale graphs,
-    // their snapshot identities, and presetGraph() all key off it.
+    // (not rounded through the scaling arithmetic): full-scale graphs
+    // and their snapshot identities key off it.
     if (scale >= 1.0)
         return s;
     const auto v = static_cast<VertexId>(

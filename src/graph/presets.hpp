@@ -62,16 +62,6 @@ const PaperGraphStats& paperStats(GraphPreset p);
 GenSpec presetSpec(GraphPreset p);
 
 /**
- * Deprecated: build (and memoize, for the process lifetime) the preset
- * graph. Prefer GraphStore::get(p), whose entries participate in the LRU
- * byte budget and the snapshot cache — this memo pins one copy per
- * preset until exit, which is exactly what kept --graph-budget-mb from
- * bounding paper-sized workers. Kept as a shim for legacy callers;
- * thread-safe and deterministic as before.
- */
-const CsrGraph& presetGraph(GraphPreset p);
-
-/**
  * Generation recipe for @p p at @p scale in (0, 1]: vertices and edges
  * multiplied by the scale (minimum 64 vertices), hub knobs rescaled,
  * grid presets re-squared. At scale 1.0 this is exactly presetSpec(p) —

@@ -45,30 +45,12 @@ predictWorkload(const Workload& workload, const SimParams& params,
     geom.warpSize = params.warpSize;
     geom.l1KiB = params.l1SizeKiB;
     geom.l2KiB = params.l2SizeKiB;
-    // Resolve through the GraphStore (not the pinning workloadGraph shim)
-    // so the handle is released after profiling and eviction stays
-    // effective.
+    // Resolve through the GraphStore so the handle is released after
+    // profiling and eviction stays effective.
     const GraphStore::GraphPtr graph =
         GraphStore::instance().get(workload.graph, resolveScale(scale));
     const TaxonomyProfile profile = profileGraph(*graph, geom);
     return predictFullDesignSpace(profile, algoProperties(workload.app));
-}
-
-unsigned
-defaultSweepThreads()
-{
-    static const unsigned threads = [] {
-        const char* env = std::getenv("GGA_SWEEP_THREADS");
-        if (!env)
-            return 1u;
-        const long t = std::atol(env);
-        if (t < 1) {
-            GGA_WARN("GGA_SWEEP_THREADS='", env, "' is invalid; using 1");
-            return 1u;
-        }
-        return static_cast<unsigned>(t);
-    }();
-    return threads;
 }
 
 SweepSpec

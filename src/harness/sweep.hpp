@@ -166,12 +166,6 @@ struct SweepOptions
 };
 
 /**
- * Deprecated: GGA_SWEEP_THREADS environment value, or 1 when
- * unset/invalid. Prefer defaultSessionThreads() / SessionOptions::threads.
- */
-unsigned defaultSweepThreads();
-
-/**
  * Standalone sweep: creates a private Session sized by @p opts. Prefer
  * the Session-taking overload (or submitSweep) so concurrent sweeps share
  * one executor.

@@ -40,26 +40,4 @@ evaluationScale()
     return scale;
 }
 
-const CsrGraph&
-workloadGraph(GraphPreset p)
-{
-    const double scale = evaluationScale();
-    // Thread-safe shim over the GraphStore, kept only for legacy callers
-    // that want a reference: it pins each handle for the process lifetime
-    // so the reference survives eviction, which also means nothing pinned
-    // here is ever really evictable and the GGA_SCALE env is the only
-    // scale it honors. The sweep/predict paths no longer come through
-    // here — new code should hold a GraphStore::get shared_ptr instead.
-    static std::mutex mu;
-    static std::map<std::pair<GraphPreset, double>,
-                    std::shared_ptr<const CsrGraph>>
-        pinned;
-    std::shared_ptr<const CsrGraph> g = GraphStore::instance().get(p, scale);
-    std::lock_guard<std::mutex> lock(mu);
-    auto& slot = pinned[{p, scale}];
-    if (!slot)
-        slot = std::move(g);
-    return *slot;
-}
-
 } // namespace gga

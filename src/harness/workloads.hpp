@@ -45,15 +45,6 @@ std::vector<Workload> allWorkloads();
  */
 double evaluationScale();
 
-/**
- * Deprecated: the (possibly scaled) input graph of a workload, resolved
- * through the thread-safe GraphStore at the GGA_SCALE evaluation scale
- * and pinned for the process lifetime (so eviction never frees it). Use
- * GraphStore::get in new code for explicit scale control and working
- * eviction; the sweep machinery no longer calls this.
- */
-const CsrGraph& workloadGraph(GraphPreset p);
-
 } // namespace gga
 
 #endif // GGA_HARNESS_WORKLOADS_HPP

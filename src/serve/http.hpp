@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 transport for the resident service: a blocking
+ * thread-per-connection server and a one-shot client, both over plain
+ * POSIX sockets.
+ *
+ * Scope is deliberately narrow — the service speaks small JSON bodies
+ * between trusted tools on a private interface, so there is no TLS, no
+ * chunked transfer encoding, and no pipelining. What IS here is strict:
+ * request lines and headers are parsed exactly, bodies require an
+ * accurate Content-Length (capped, so a hostile peer cannot balloon the
+ * process), and malformed input closes the connection with a 4xx rather
+ * than being guessed at. Keep-alive is supported because the worker
+ * protocol polls in a tight loop.
+ *
+ * The handler runs on the connection's thread and may block (long-poll
+ * endpoints do); stop() unblocks every connection by shutting the
+ * sockets down and then joins, so destruction is always clean.
+ */
+
+#ifndef GGA_SERVE_HTTP_HPP
+#define GGA_SERVE_HTTP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gga {
+
+/** Thrown for transport-level failures (bind, connect, torn response). */
+class ServeError : public std::runtime_error
+{
+  public:
+    explicit ServeError(const std::string& why) : std::runtime_error(why) {}
+};
+
+/** One parsed request. Header names are lower-cased; values trimmed. */
+struct HttpRequest
+{
+    std::string method; ///< "GET", "POST", ...
+    std::string target; ///< raw request target ("/v1/jobs?tenant=a")
+    std::string path;   ///< target up to '?', percent-decoded
+    std::map<std::string, std::string> query; ///< decoded key=value pairs
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Query parameter or @p fallback when absent. */
+    const std::string& queryOr(const std::string& key,
+                               const std::string& fallback) const;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+/** The reason phrase for @p status ("Not Found"); "Unknown" otherwise. */
+std::string httpStatusText(int status);
+
+/**
+ * Thread-per-connection HTTP/1.1 server. The handler is invoked for
+ * every well-formed request (any method, any path) and must be
+ * thread-safe; transport-level garbage is answered with 400 and a close
+ * without reaching it.
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+    explicit HttpServer(Handler handler);
+
+    /** stop()s if still running. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /**
+     * Bind @p port on the loopback interface and start accepting.
+     * Port 0 picks an ephemeral port — read it back with port().
+     * Throws ServeError on bind failure; calling start twice is an error.
+     */
+    void start(std::uint16_t port);
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Shut every connection down, join all threads, close the listener.
+     * Idempotent. Handlers blocked in long-polls must be unblocked by
+     * their own shutdown paths before stop() is called, or stop() waits
+     * for them.
+     */
+    void stop();
+
+    /** Largest accepted request body, bytes. */
+    static constexpr std::size_t kMaxBodyBytes = 64u << 20;
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    Handler handler_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::mutex mu_;
+    bool stopping_ = false;
+    std::set<int> connFds_;
+    std::vector<std::thread> connThreads_;
+};
+
+/**
+ * One-shot HTTP/1.1 client request to 127.0.0.1:@p port (Connection:
+ * close). Returns the parsed response; throws ServeError when the
+ * server is unreachable or the response is torn. Any status code is
+ * returned, not thrown — protocol errors are the caller's to interpret.
+ */
+HttpResponse httpRequest(std::uint16_t port, const std::string& method,
+                         const std::string& target,
+                         const std::string& body = {},
+                         const std::map<std::string, std::string>& headers = {});
+
+} // namespace gga
+
+#endif // GGA_SERVE_HTTP_HPP

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * JobTable: the resident service's multi-tenant job registry.
+ *
+ * Every submitted RunPlan or Manifest becomes a Job with a process-unique
+ * id, a tenant, a lifecycle (Queued -> Running -> Done/Failed/Canceled),
+ * and a monotonically increasing version that bumps on every visible
+ * change — the long-poll primitive: waitForChange(id, since) blocks until
+ * version > since or a timeout.
+ *
+ * Admission is bounded per tenant: a tenant may hold at most
+ * maxQueuedPerTenant jobs in Queued+Running at once; the next submit is
+ * rejected with AdmissionError (HTTP 429) instead of queueing unbounded
+ * work behind a shared executor. Completed unit rows are kept in
+ * completion order so clients can stream results incrementally
+ * (resultsAfter) while the job still runs.
+ *
+ * Latency telemetry: per-app log2-bucketed histograms of unit wall
+ * times, fed by every locally executed unit.
+ */
+
+#ifndef GGA_SERVE_JOB_TABLE_HPP
+#define GGA_SERVE_JOB_TABLE_HPP
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eval/manifest.hpp"
+#include "eval/result_set.hpp"
+#include "eval/run.hpp"
+
+namespace gga {
+
+/** Thrown when a tenant's admission quota is exhausted (HTTP 429). */
+class AdmissionError : public std::runtime_error
+{
+  public:
+    explicit AdmissionError(const std::string& why)
+        : std::runtime_error(why)
+    {
+    }
+};
+
+enum class JobState
+{
+    Queued,   ///< accepted, no unit finished yet
+    Running,  ///< at least one unit (or shard) in flight or finished
+    Done,     ///< every unit finished, results complete
+    Failed,   ///< a unit plan was invalid or a remote shard exhausted retries
+    Canceled, ///< client canceled before completion
+};
+
+std::string jobStateName(JobState s);
+
+/** Log2-bucketed wall-time histogram (bucket i: [2^(i-1), 2^i) ms). */
+struct LatencyHistogram
+{
+    static constexpr std::size_t kBuckets = 16;
+
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    double totalMs = 0;
+    double maxMs = 0;
+
+    void record(double ms);
+    Json toJson() const;
+};
+
+/** Immutable status snapshot handed to the wire layer. */
+struct JobSnapshot
+{
+    std::string id;
+    std::string tenant;
+    JobState state = JobState::Queued;
+    bool remote = false;
+    std::size_t shards = 0;    ///< 0 for local jobs
+    std::size_t totalUnits = 0;
+    std::size_t completedUnits = 0;
+    std::size_t failedUnits = 0;
+    std::uint64_t version = 0; ///< long-poll cursor
+    std::string error;         ///< first failure, "" while healthy
+
+    Json toJson() const;
+};
+
+class JobTable
+{
+  public:
+    explicit JobTable(std::size_t maxQueuedPerTenant = 8)
+        : maxQueuedPerTenant_(maxQueuedPerTenant)
+    {
+    }
+
+    /**
+     * Admit a job for @p tenant over @p manifest. Throws AdmissionError
+     * when the tenant already holds maxQueuedPerTenant live jobs.
+     * Returns the new job id ("job-<n>").
+     */
+    std::string create(const std::string& tenant, Manifest manifest,
+                       bool remote, std::size_t shards);
+
+    /** The job's manifest (throws ServeError-free: nullopt if unknown). */
+    std::optional<Manifest> manifestOf(const std::string& id) const;
+
+    /** Record one locally executed unit's completion event. */
+    void unitDone(const std::string& id, const UnitEvent& ev);
+
+    /** Remote path: mark running (first shard assigned). */
+    void markRunning(const std::string& id);
+
+    /** Remote path: per-shard progress (units another host completed). */
+    void addRemoteProgress(const std::string& id,
+                           const std::vector<UnitResult>& rows);
+
+    /** Remote path: the verified merged results; moves the job to Done. */
+    void finishRemote(const std::string& id, ResultSet merged);
+
+    /** Move the job to Failed with @p why (idempotent once terminal). */
+    void fail(const std::string& id, const std::string& why);
+
+    /**
+     * Cancel: Queued/Running -> Canceled (true); terminal states are left
+     * alone (false). Units already posted to an executor still run; their
+     * late events are dropped.
+     */
+    bool cancel(const std::string& id);
+
+    /** Status snapshot; nullopt for an unknown id. */
+    std::optional<JobSnapshot> snapshot(const std::string& id) const;
+
+    /**
+     * Long-poll: block until the job's version exceeds @p since or
+     * @p waitMs elapses (0 = return immediately); nullopt for an unknown
+     * id. Returns promptly once shutdown() has been called.
+     */
+    std::optional<JobSnapshot> waitForChange(const std::string& id,
+                                             std::uint64_t since,
+                                             unsigned waitMs) const;
+
+    /** All jobs (optionally one tenant's), newest first. */
+    std::vector<JobSnapshot> list(const std::string& tenant = {}) const;
+
+    /**
+     * Completed unit rows after row index @p after (completion order),
+     * plus whether the job is terminal; nullopt for an unknown id.
+     */
+    struct RowsPage
+    {
+        std::vector<UnitResult> rows; ///< rows [after, after+n)
+        std::size_t next = 0;         ///< cursor for the next page
+        bool terminal = false;
+    };
+    std::optional<RowsPage> resultsAfter(const std::string& id,
+                                         std::size_t after) const;
+
+    /**
+     * The finished job's complete ResultSet (key-sorted — for local jobs
+     * assembled from the event rows, for remote jobs the orchestrator's
+     * verified merge); nullopt while not Done or for an unknown id.
+     */
+    std::optional<ResultSet> finalResults(const std::string& id) const;
+
+    /** Aggregate counts + per-app latency histograms, for /stats. */
+    Json statsJson() const;
+
+    /** Wake every long-poller (no more changes will come). */
+    void shutdown();
+
+  private:
+    struct Job
+    {
+        std::string id;
+        std::string tenant;
+        Manifest manifest;
+        bool remote = false;
+        std::size_t shards = 0;
+        JobState state = JobState::Queued;
+        std::vector<UnitResult> rows; ///< completion order
+        std::size_t failedUnits = 0;
+        std::uint64_t version = 1;
+        std::string error;
+        std::optional<ResultSet> finalResults;
+        std::uint64_t seq = 0; ///< creation order, for list()
+    };
+
+    static bool terminal(JobState s)
+    {
+        return s == JobState::Done || s == JobState::Failed ||
+               s == JobState::Canceled;
+    }
+
+    /** Caller holds mu_. */
+    JobSnapshot snapshotLocked(const Job& j) const;
+    void bumpLocked(Job& j);
+    std::size_t liveCountLocked(const std::string& tenant) const;
+    void maybeFinishLocalLocked(Job& j);
+
+    const std::size_t maxQueuedPerTenant_;
+    mutable std::mutex mu_;
+    mutable std::condition_variable cv_;
+    bool shutdown_ = false;
+    std::uint64_t nextId_ = 0;
+    std::map<std::string, Job> jobs_;
+    std::map<std::string, LatencyHistogram> latency_; ///< by app name
+};
+
+} // namespace gga
+
+#endif // GGA_SERVE_JOB_TABLE_HPP

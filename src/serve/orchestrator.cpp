@@ -1,0 +1,274 @@
+#include "serve/orchestrator.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+unsigned
+RetryPolicy::backoffMs(unsigned attempt) const
+{
+    if (attempt == 0)
+        return 0;
+    unsigned delay = retryBaseMs;
+    for (unsigned i = 1; i < attempt && delay < retryCapMs; ++i)
+        delay *= 2;
+    return std::min(delay, retryCapMs);
+}
+
+std::string
+Orchestrator::registerWorker(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Worker w;
+    w.name = name.empty() ? "worker" : name;
+    w.lastSeen = Clock::now();
+    const std::string id = "w-" + std::to_string(++nextWorker_);
+    workers_.emplace(id, std::move(w));
+    GGA_INFORM("serve: worker ", id, " (", name, ") registered");
+    return id;
+}
+
+bool
+Orchestrator::knownWorker(const std::string& worker) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.count(worker) != 0;
+}
+
+bool
+Orchestrator::enqueueJob(const std::string& jobId, std::size_t shardCount)
+{
+    GGA_ASSERT(shardCount >= 1, "remote job needs at least one shard");
+    const std::optional<Manifest> manifest = jobs_.manifestOf(jobId);
+    if (!manifest)
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    RemoteJob rj;
+    rj.seq = ++nextJobSeq_;
+    rj.manifest = *manifest;
+    rj.shards.resize(shardCount);
+    remote_.emplace(jobId, std::move(rj));
+    return true;
+}
+
+std::optional<Assignment>
+Orchestrator::poll(const std::string& worker)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto wit = workers_.find(worker);
+    if (wit == workers_.end())
+        return std::nullopt;
+    const auto now = Clock::now();
+    wit->second.lastSeen = now;
+
+    // Oldest job first, lowest shard index within it: deterministic and
+    // fair, and a retried shard naturally lands on whichever worker
+    // polls next (usually not the one that lost it).
+    const RemoteJob* bestJob = nullptr;
+    std::string bestId;
+    std::size_t bestShard = 0;
+    for (const auto& [jobId, rj] : remote_) {
+        if (bestJob && rj.seq >= bestJob->seq)
+            continue;
+        for (std::size_t s = 0; s < rj.shards.size(); ++s) {
+            const Shard& sh = rj.shards[s];
+            if (sh.state == ShardState::Waiting && sh.notBefore <= now) {
+                bestJob = &rj;
+                bestId = jobId;
+                bestShard = s;
+                break;
+            }
+        }
+    }
+    if (!bestJob)
+        return std::nullopt;
+
+    RemoteJob& rj = remote_.at(bestId);
+    Shard& sh = rj.shards[bestShard];
+    sh.state = ShardState::Assigned;
+    sh.worker = worker;
+    sh.deadline = now + std::chrono::milliseconds(policy_.leaseMs);
+    ++assignments_;
+
+    Assignment a;
+    a.job = bestId;
+    a.shard = bestShard;
+    a.shardCount = rj.shards.size();
+    a.manifest = rj.manifest.shard(bestShard, rj.shards.size());
+    jobs_.markRunning(bestId);
+    GGA_INFORM("serve: shard ", bestShard + 1, "/", rj.shards.size(),
+               " of ", bestId, " -> ", worker);
+    return a;
+}
+
+Orchestrator::PartOutcome
+Orchestrator::partArrived(const std::string& worker,
+                          const std::string& jobId, std::size_t shard,
+                          ResultSet part, std::string* error)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (workers_.count(worker) == 0)
+        return PartOutcome::Unknown;
+    workers_.at(worker).lastSeen = Clock::now();
+    const auto jit = remote_.find(jobId);
+    if (jit == remote_.end() || shard >= jit->second.shards.size())
+        return PartOutcome::Unknown;
+    RemoteJob& rj = jit->second;
+    Shard& sh = rj.shards[shard];
+    if (sh.state == ShardState::Done) {
+        ++duplicateParts_;
+        GGA_INFORM("serve: duplicate part for shard ", shard + 1, "/",
+                   rj.shards.size(), " of ", jobId, " from ", worker,
+                   " discarded");
+        return PartOutcome::Duplicate;
+    }
+
+    // Verify against the shard's sub-manifest: a worker must return
+    // exactly the units it was assigned, nothing thinner, nothing else.
+    try {
+        part.verifyComplete(rj.manifest.shard(shard, rj.shards.size()));
+    } catch (const EvalError& err) {
+        ++rejectedParts_;
+        ++sh.attempts;
+        if (error)
+            *error = err.what();
+        if (sh.attempts >= policy_.maxAttempts) {
+            failJobLocked(jobId,
+                          "shard " + std::to_string(shard) +
+                              " exhausted retries: " + err.what());
+            return PartOutcome::Rejected;
+        }
+        sh.state = ShardState::Waiting;
+        sh.worker.clear();
+        sh.notBefore = Clock::now() + std::chrono::milliseconds(
+                                          policy_.backoffMs(sh.attempts));
+        ++retries_;
+        GGA_WARN("serve: part for shard ", shard + 1, "/",
+                 rj.shards.size(), " of ", jobId, " rejected (",
+                 err.what(), "); retrying");
+        return PartOutcome::Rejected;
+    }
+
+    sh.part = std::move(part);
+    sh.state = ShardState::Done;
+    sh.worker.clear();
+    ++completedShards_;
+    jobs_.addRemoteProgress(jobId, sh.part->results());
+
+    const bool allDone =
+        std::all_of(rj.shards.begin(), rj.shards.end(),
+                    [](const Shard& s) { return s.state == ShardState::Done; });
+    if (!allDone)
+        return PartOutcome::Accepted;
+
+    // Last part: strict merge + full-manifest verification — the same
+    // checks gga_merge applies, so a lost or doubled shard can never
+    // produce a quietly wrong table.
+    std::vector<ResultSet> parts;
+    parts.reserve(rj.shards.size());
+    for (Shard& s : rj.shards)
+        parts.push_back(std::move(*s.part));
+    Manifest manifest = rj.manifest;
+    remote_.erase(jit);
+    lock.unlock();
+    try {
+        ResultSet merged = ResultSet::merge(parts);
+        merged.verifyComplete(manifest);
+        jobs_.finishRemote(jobId, std::move(merged));
+    } catch (const EvalError& err) {
+        jobs_.fail(jobId, std::string("merge failed: ") + err.what());
+    }
+    return PartOutcome::Accepted;
+}
+
+void
+Orchestrator::tick()
+{
+    std::vector<std::pair<std::string, std::string>> failures;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto now = Clock::now();
+        for (auto& [jobId, rj] : remote_) {
+            for (std::size_t s = 0; s < rj.shards.size(); ++s) {
+                Shard& sh = rj.shards[s];
+                if (sh.state != ShardState::Assigned || sh.deadline > now)
+                    continue;
+                ++expiredLeases_;
+                ++sh.attempts;
+                GGA_WARN("serve: lease expired on shard ", s + 1, "/",
+                         rj.shards.size(), " of ", jobId, " (worker ",
+                         sh.worker, ", attempt ", sh.attempts, ")");
+                if (sh.attempts >= policy_.maxAttempts) {
+                    failures.emplace_back(
+                        jobId, "shard " + std::to_string(s) +
+                                   " exhausted " +
+                                   std::to_string(policy_.maxAttempts) +
+                                   " attempts (lost workers)");
+                    break;
+                }
+                sh.state = ShardState::Waiting;
+                sh.worker.clear();
+                sh.notBefore =
+                    now + std::chrono::milliseconds(
+                              policy_.backoffMs(sh.attempts));
+                ++retries_;
+            }
+        }
+        for (const auto& [jobId, why] : failures) {
+            (void)why;
+            remote_.erase(jobId);
+        }
+    }
+    for (const auto& [jobId, why] : failures)
+        jobs_.fail(jobId, why);
+}
+
+void
+Orchestrator::forgetJob(const std::string& jobId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    remote_.erase(jobId);
+}
+
+Json
+Orchestrator::statsJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t assigned = 0, waiting = 0;
+    for (const auto& [jobId, rj] : remote_) {
+        (void)jobId;
+        for (const Shard& s : rj.shards) {
+            if (s.state == ShardState::Assigned)
+                ++assigned;
+            else if (s.state == ShardState::Waiting)
+                ++waiting;
+        }
+    }
+    Json j = Json::object();
+    j.set("workers", Json(static_cast<std::uint64_t>(workers_.size())));
+    j.set("jobs_in_flight",
+          Json(static_cast<std::uint64_t>(remote_.size())));
+    j.set("shards_assigned", Json(assigned));
+    j.set("shards_waiting", Json(waiting));
+    j.set("assignments_total", Json(assignments_));
+    j.set("completed_shards_total", Json(completedShards_));
+    j.set("retries_total", Json(retries_));
+    j.set("expired_leases_total", Json(expiredLeases_));
+    j.set("rejected_parts_total", Json(rejectedParts_));
+    j.set("duplicate_parts_total", Json(duplicateParts_));
+    return j;
+}
+
+void
+Orchestrator::failJobLocked(const std::string& jobId,
+                            const std::string& why)
+{
+    remote_.erase(jobId);
+    // JobTable has its own lock; safe to call while holding mu_ because
+    // JobTable never calls back into the Orchestrator.
+    jobs_.fail(jobId, why);
+}
+
+} // namespace gga

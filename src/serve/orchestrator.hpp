@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Orchestrator: shard assignment, lease tracking, and retry for remote
+ * jobs.
+ *
+ * A remote job is a manifest split into N shards (Manifest::shard, the
+ * same deterministic split the offline gga_worker CLI uses). Registered
+ * workers pull assignments (poll), run the shard in their own process,
+ * and push the shard's ResultSet back (partArrived). Every assignment
+ * carries a lease: a worker that dies or stalls past the lease simply
+ * never reports, tick() notices the expiry, and the shard is reassigned
+ * with capped exponential backoff. A part is verified against its
+ * shard's sub-manifest on arrival — a wrong or partial part is rejected
+ * and the shard retried — and a duplicate part for a shard that already
+ * completed (a slow worker racing its own replacement) is discarded and
+ * counted, never merged twice. When the last shard lands, the parts are
+ * merged with the same strict ResultSet::merge the offline pipeline
+ * uses and verified against the full manifest, so a served remote job is
+ * byte-identical to an in-process runManifest.
+ *
+ * Threading: every public method is safe to call from any connection
+ * thread; tick() is driven by the server's ticker. Completion and
+ * failure are reported through the JobTable passed at construction.
+ */
+
+#ifndef GGA_SERVE_ORCHESTRATOR_HPP
+#define GGA_SERVE_ORCHESTRATOR_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/manifest.hpp"
+#include "eval/result_set.hpp"
+#include "serve/job_table.hpp"
+
+namespace gga {
+
+/** Lease/retry policy for remote shard execution. */
+struct RetryPolicy
+{
+    unsigned leaseMs = 15000;    ///< assignment expires after this
+    unsigned retryBaseMs = 500;  ///< first retry delay
+    unsigned retryCapMs = 8000;  ///< exponential backoff ceiling
+    unsigned maxAttempts = 6;    ///< per shard; exhausted -> job fails
+
+    /** min(base * 2^(attempt-1), cap); attempt is 1-based. */
+    unsigned backoffMs(unsigned attempt) const;
+};
+
+/** One pulled assignment, as handed to a worker. */
+struct Assignment
+{
+    std::string job;
+    std::size_t shard = 0;
+    std::size_t shardCount = 0;
+    Manifest manifest; ///< the shard's sub-manifest
+};
+
+class Orchestrator
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Orchestrator(JobTable& jobs, RetryPolicy policy)
+        : jobs_(jobs), policy_(policy)
+    {
+    }
+
+    /** Register a worker; returns its id ("w-<n>"). */
+    std::string registerWorker(const std::string& name);
+
+    /** Known worker? (Unknown ids are rejected at the wire layer.) */
+    bool knownWorker(const std::string& worker) const;
+
+    /**
+     * Add a remote job's shards to the assignment pool. @p shardCount
+     * must be >= 1; the manifest is fetched from the JobTable by id.
+     * Returns false when the job id is unknown.
+     */
+    bool enqueueJob(const std::string& jobId, std::size_t shardCount);
+
+    /**
+     * Pull the next runnable shard for @p worker: the oldest job's
+     * lowest-index unassigned shard whose backoff has elapsed. Updates
+     * the worker's liveness stamp. nullopt when nothing is runnable
+     * (idle) or the worker is unknown.
+     */
+    std::optional<Assignment> poll(const std::string& worker);
+
+    /** Outcome of partArrived, for the wire layer's status code. */
+    enum class PartOutcome
+    {
+        Accepted,  ///< verified and recorded (job may now be done)
+        Duplicate, ///< shard already completed; part discarded
+        Rejected,  ///< failed verification; shard will be retried
+        Unknown,   ///< no such job/shard/worker
+    };
+
+    /**
+     * A worker's completed shard part. Verifies the part against the
+     * shard's sub-manifest; on the final part, merges and completes the
+     * job through the JobTable (or fails it if the strict merge
+     * rejects). @p error receives the verification failure on Rejected.
+     */
+    PartOutcome partArrived(const std::string& worker,
+                            const std::string& jobId, std::size_t shard,
+                            ResultSet part, std::string* error = nullptr);
+
+    /**
+     * Expire overdue leases: a shard assigned longer ago than the lease
+     * becomes runnable again after backoff, counting one attempt; a
+     * shard out of attempts fails its whole job. Called periodically by
+     * the server's ticker.
+     */
+    void tick();
+
+    /** Drop a job's unfinished shards (after cancel/failure). */
+    void forgetJob(const std::string& jobId);
+
+    /** Telemetry for /stats. */
+    Json statsJson() const;
+
+  private:
+    enum class ShardState
+    {
+        Waiting,  ///< runnable once notBefore has passed
+        Assigned, ///< leased to a worker
+        Done,     ///< part verified and stored
+    };
+
+    struct Shard
+    {
+        ShardState state = ShardState::Waiting;
+        unsigned attempts = 0;
+        std::string worker;
+        Clock::time_point notBefore{}; ///< backoff gate (Waiting)
+        Clock::time_point deadline{};  ///< lease expiry (Assigned)
+        std::optional<ResultSet> part;
+    };
+
+    struct RemoteJob
+    {
+        std::uint64_t seq = 0; ///< FIFO fairness across jobs
+        Manifest manifest;
+        std::vector<Shard> shards;
+    };
+
+    struct Worker
+    {
+        std::string name;
+        Clock::time_point lastSeen{};
+    };
+
+    /** Caller holds mu_. Fails the job and drops its shard state. */
+    void failJobLocked(const std::string& jobId, const std::string& why);
+
+    JobTable& jobs_;
+    const RetryPolicy policy_;
+    mutable std::mutex mu_;
+    std::uint64_t nextWorker_ = 0;
+    std::uint64_t nextJobSeq_ = 0;
+    std::map<std::string, Worker> workers_;
+    std::map<std::string, RemoteJob> remote_;
+    // Lifetime counters (monotonic).
+    std::uint64_t assignments_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t expiredLeases_ = 0;
+    std::uint64_t rejectedParts_ = 0;
+    std::uint64_t duplicateParts_ = 0;
+    std::uint64_t completedShards_ = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SERVE_ORCHESTRATOR_HPP

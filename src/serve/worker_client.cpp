@@ -1,0 +1,102 @@
+#include "serve/worker_client.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "eval/run.hpp"
+#include "serve/http.hpp"
+#include "support/json.hpp"
+#include "support/log.hpp"
+
+namespace gga {
+
+std::size_t
+runWorkerClient(Session& session, const WorkerClientOptions& opts)
+{
+    GGA_ASSERT(opts.port != 0, "worker client needs a service port");
+
+    Json reg = Json::object();
+    reg.set("name", Json(opts.name));
+    const HttpResponse regResp =
+        httpRequest(opts.port, "POST", "/v1/workers/register", reg.dump());
+    if (regResp.status != 200)
+        throw ServeError("worker registration failed (HTTP " +
+                         std::to_string(regResp.status) + ")");
+    const std::string worker =
+        Json::parse(regResp.body).at("worker").asString();
+    GGA_INFORM("worker ", worker, ": connected to 127.0.0.1:", opts.port);
+
+    Json pollBody = Json::object();
+    pollBody.set("worker", Json(worker));
+    const std::string poll = pollBody.dump();
+
+    std::size_t posted = 0;
+    unsigned assignments = 0;
+    auto lastWork = std::chrono::steady_clock::now();
+    while (true) {
+        HttpResponse resp;
+        try {
+            resp = httpRequest(opts.port, "POST", "/v1/workers/poll", poll);
+        } catch (const ServeError&) {
+            GGA_INFORM("worker ", worker, ": server gone, exiting");
+            return posted;
+        }
+        if (resp.status == 204) {
+            if (opts.idleExitMs != 0 &&
+                std::chrono::steady_clock::now() - lastWork >
+                    std::chrono::milliseconds(opts.idleExitMs)) {
+                GGA_INFORM("worker ", worker, ": idle, exiting");
+                return posted;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts.pollMs));
+            continue;
+        }
+        if (resp.status != 200) {
+            GGA_WARN("worker ", worker, ": poll returned HTTP ",
+                     resp.status, ", exiting");
+            return posted;
+        }
+
+        const Json a = Json::parse(resp.body);
+        const std::string job = a.at("job").asString();
+        const std::uint64_t shard = a.at("shard").asU64();
+        ++assignments;
+        if (opts.exitAfterAssignments != 0 &&
+            assignments >= opts.exitAfterAssignments) {
+            // Fault injection: die holding the lease, part never posted.
+            GGA_INFORM("worker ", worker, ": crash hook firing on "
+                       "assignment ", assignments);
+            ::_exit(kCrashExitCode);
+        }
+        const Manifest manifest = Manifest::fromJson(a.at("manifest"));
+        GGA_INFORM("worker ", worker, ": running shard ", shard + 1, "/",
+                   a.at("shard_count").asU64(), " of ", job, " (",
+                   manifest.size(), " units)");
+        const ResultSet results = runManifest(session, manifest);
+
+        Json part = Json::object();
+        part.set("worker", Json(worker));
+        part.set("job", Json(job));
+        part.set("shard", Json(shard));
+        part.set("results", results.toJson());
+        try {
+            const HttpResponse pr = httpRequest(
+                opts.port, "POST", "/v1/workers/parts", part.dump());
+            if (pr.status == 200)
+                ++posted;
+            else
+                GGA_WARN("worker ", worker, ": part for ", job, " shard ",
+                         shard, " answered HTTP ", pr.status);
+        } catch (const ServeError& err) {
+            GGA_WARN("worker ", worker, ": posting part failed: ",
+                     err.what());
+            return posted;
+        }
+        lastWork = std::chrono::steady_clock::now();
+    }
+}
+
+} // namespace gga

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * WorkerClient: the remote-worker side of the serve protocol — what
+ * `gga_worker --connect` runs. Registers with a Service, polls for
+ * shard assignments, executes each assigned sub-manifest on its own
+ * Session (the same runManifest path the offline CLI uses, so parts are
+ * bit-identical to offline shards), and posts the ResultSet back.
+ *
+ * The loop exits when idleExitMs passes without an assignment (so CI
+ * workers drain and leave) or when the server becomes unreachable after
+ * registration. exitAfterAssignments is a fault-injection hook: the
+ * worker hard-exits the process the moment it receives its Nth
+ * assignment, before running it — exactly the "worker died mid-job"
+ * case the orchestrator's lease retry exists for.
+ */
+
+#ifndef GGA_SERVE_WORKER_CLIENT_HPP
+#define GGA_SERVE_WORKER_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "api/session.hpp"
+
+namespace gga {
+
+struct WorkerClientOptions
+{
+    std::uint16_t port = 0;      ///< service port (required)
+    std::string name;            ///< advisory worker name
+    unsigned pollMs = 100;       ///< delay between idle polls
+    unsigned idleExitMs = 0;     ///< 0 = poll forever
+    /** Fault injection: _exit(kCrashExitCode) on receiving the Nth
+     *  assignment (1-based); 0 disables. */
+    unsigned exitAfterAssignments = 0;
+};
+
+/** The exit code of the exitAfterAssignments crash hook. */
+constexpr int kCrashExitCode = 17;
+
+/**
+ * Run the worker loop until idle-exit or server shutdown. Returns the
+ * number of parts successfully posted. Throws ServeError when the
+ * service cannot be reached at registration time.
+ */
+std::size_t runWorkerClient(Session& session,
+                            const WorkerClientOptions& opts);
+
+} // namespace gga
+
+#endif // GGA_SERVE_WORKER_CLIENT_HPP

@@ -124,9 +124,26 @@ class Parser
     parseValue()
     {
         skipWs();
+        // Depth cap: the parser recurses per nesting level, so without a
+        // bound a few KB of "[[[[..." from an untrusted peer (the serve
+        // endpoints parse network bodies) overflows the stack. 256 is far
+        // beyond any artifact this library writes.
+        if (depth_ >= kMaxDepth)
+            fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                 " levels");
         switch (peek()) {
-        case '{': return parseObject();
-        case '[': return parseArray();
+        case '{': {
+            ++depth_;
+            Json v = parseObject();
+            --depth_;
+            return v;
+        }
+        case '[': {
+            ++depth_;
+            Json v = parseArray();
+            --depth_;
+            return v;
+        }
         case '"': return Json(parseString());
         case 't':
             if (consumeLiteral("true"))
@@ -299,8 +316,11 @@ class Parser
         }
     }
 
+    static constexpr int kMaxDepth = 256;
+
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 void

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Error-path and boundary tests for the support-layer JSON codec. The
+ * parser now reads untrusted network bodies (the resident service), so
+ * malformed input, hostile nesting depth, escape handling, and 64-bit
+ * integer boundaries all need explicit coverage beyond the round-trip
+ * checks the eval-layer tests do in passing.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace gga {
+namespace {
+
+// --- malformed documents -------------------------------------------------
+
+TEST(JsonErrors, EmptyAndWhitespaceOnlyInputThrows)
+{
+    EXPECT_THROW(Json::parse(""), JsonError);
+    EXPECT_THROW(Json::parse("   \n\t  "), JsonError);
+}
+
+TEST(JsonErrors, TrailingGarbageThrows)
+{
+    EXPECT_THROW(Json::parse("{} x"), JsonError);
+    EXPECT_THROW(Json::parse("1 2"), JsonError);
+    EXPECT_THROW(Json::parse("[1,2]]"), JsonError);
+    EXPECT_NO_THROW(Json::parse("{}  \n"));
+}
+
+TEST(JsonErrors, TruncatedContainersThrow)
+{
+    EXPECT_THROW(Json::parse("["), JsonError);
+    EXPECT_THROW(Json::parse("[1, 2"), JsonError);
+    EXPECT_THROW(Json::parse("{\"k\""), JsonError);
+    EXPECT_THROW(Json::parse("{\"k\":"), JsonError);
+    EXPECT_THROW(Json::parse("{\"k\": 1,"), JsonError);
+}
+
+TEST(JsonErrors, MissingColonOrBadSeparatorThrows)
+{
+    EXPECT_THROW(Json::parse("{\"k\" 1}"), JsonError);
+    EXPECT_THROW(Json::parse("{\"k\"; 1}"), JsonError);
+    EXPECT_THROW(Json::parse("[1; 2]"), JsonError);
+}
+
+TEST(JsonErrors, InvalidLiteralsThrow)
+{
+    EXPECT_THROW(Json::parse("tru"), JsonError);
+    EXPECT_THROW(Json::parse("falze"), JsonError);
+    EXPECT_THROW(Json::parse("nul"), JsonError);
+    EXPECT_THROW(Json::parse("None"), JsonError);
+}
+
+TEST(JsonErrors, InvalidNumbersThrow)
+{
+    EXPECT_THROW(Json::parse("-"), JsonError);
+    EXPECT_THROW(Json::parse("1.2.3"), JsonError);
+    EXPECT_THROW(Json::parse("1e"), JsonError);
+    EXPECT_THROW(Json::parse("--1"), JsonError);
+    EXPECT_THROW(Json::parse("+1"), JsonError);
+}
+
+TEST(JsonErrors, DuplicateObjectKeysThrow)
+{
+    EXPECT_THROW(Json::parse("{\"a\": 1, \"a\": 2}"), JsonError);
+    // Same key at different levels is fine.
+    EXPECT_NO_THROW(Json::parse("{\"a\": {\"a\": 1}}"));
+}
+
+// --- hostile nesting depth -----------------------------------------------
+
+TEST(JsonErrors, DeepNestingIsRejectedNotStackOverflowed)
+{
+    // A service body of 100k open brackets must fail cleanly with
+    // JsonError, not recurse off the stack.
+    const std::string bomb(100000, '[');
+    EXPECT_THROW(Json::parse(bomb), JsonError);
+
+    const std::string deep =
+        std::string(300, '[') + std::string(300, ']');
+    EXPECT_THROW(Json::parse(deep), JsonError);
+
+    // Mixed object/array nesting counts against the same budget.
+    std::string mixed;
+    for (int i = 0; i < 200; ++i)
+        mixed += "{\"k\":[";
+    EXPECT_THROW(Json::parse(mixed), JsonError);
+}
+
+TEST(JsonErrors, ReasonableNestingStillParses)
+{
+    const std::string deep =
+        std::string(200, '[') + "7" + std::string(200, ']');
+    Json v = Json::parse(deep);
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(v.isArray());
+        ASSERT_EQ(v.asArray().size(), 1u);
+        Json inner = v.asArray()[0]; // copy out before overwriting v
+        v = std::move(inner);
+    }
+    EXPECT_EQ(v.asU64(), 7u);
+}
+
+// --- string escapes ------------------------------------------------------
+
+TEST(JsonStrings, StandardEscapesRoundTrip)
+{
+    const Json v = Json::parse("\"a\\n\\t\\r\\b\\f\\\"\\\\\\/z\"");
+    EXPECT_EQ(v.asString(), "a\n\t\r\b\f\"\\/z");
+    EXPECT_EQ(Json::parse(v.dump()).asString(), v.asString());
+}
+
+TEST(JsonStrings, UnicodeEscapesDecodeToUtf8)
+{
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(Json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");     // é
+    EXPECT_EQ(Json::parse("\"\\u20ac\"").asString(), "\xe2\x82\xac"); // €
+}
+
+TEST(JsonStrings, ControlCharactersDumpAsEscapesAndRoundTrip)
+{
+    const Json v(std::string("a\x01\x02z"));
+    const std::string text = v.dump();
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+    EXPECT_EQ(Json::parse(text).asString(), v.asString());
+}
+
+TEST(JsonStrings, BadEscapesThrow)
+{
+    EXPECT_THROW(Json::parse("\"\\q\""), JsonError);
+    EXPECT_THROW(Json::parse("\"\\u12\""), JsonError);   // truncated
+    EXPECT_THROW(Json::parse("\"\\u12zz\""), JsonError); // bad hex
+    EXPECT_THROW(Json::parse("\"\\"), JsonError);        // dangling
+    EXPECT_THROW(Json::parse("\"abc"), JsonError);       // unterminated
+}
+
+// --- 64-bit integer boundaries -------------------------------------------
+
+TEST(JsonNumbers, U64MaxRoundTripsExactly)
+{
+    const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+    const Json v = Json::parse("18446744073709551615");
+    ASSERT_TRUE(v.isU64());
+    EXPECT_EQ(v.asU64(), max);
+    EXPECT_EQ(v.dump(), "18446744073709551615");
+    EXPECT_EQ(Json::parse(Json(max).dump()).asU64(), max);
+}
+
+TEST(JsonNumbers, I64MinRoundTripsExactly)
+{
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    const Json v = Json::parse("-9223372036854775808");
+    ASSERT_TRUE(v.isI64());
+    EXPECT_EQ(v.asI64(), min);
+    EXPECT_EQ(Json::parse(Json(min).dump()).asI64(), min);
+}
+
+TEST(JsonNumbers, BeyondU64FallsBackToDouble)
+{
+    // One past u64 max: no integer representation, so the strict parse
+    // degrades to double rather than silently wrapping.
+    const Json v = Json::parse("18446744073709551616");
+    EXPECT_TRUE(v.isDouble());
+    EXPECT_DOUBLE_EQ(v.asDouble(), 18446744073709551616.0);
+}
+
+TEST(JsonNumbers, DoublesRoundTripBitExactly)
+{
+    for (const double d : {0.1, 1.0 / 3.0, 1e-300, 1e300, -2.5}) {
+        const Json v = Json::parse(Json(d).dump());
+        ASSERT_TRUE(v.isNumber());
+        EXPECT_EQ(v.asDouble(), d);
+    }
+}
+
+// --- accessor mismatches -------------------------------------------------
+
+TEST(JsonAccessors, KindMismatchThrows)
+{
+    const Json v = Json::parse("{\"n\": 1, \"s\": \"x\"}");
+    EXPECT_THROW(v.at("s").asU64(), JsonError);
+    EXPECT_THROW(v.at("n").asString(), JsonError);
+    EXPECT_THROW(v.asArray(), JsonError);
+    EXPECT_THROW(Json(-1).asU64(), JsonError);
+}
+
+TEST(JsonAccessors, MissingKeyThrowsButFindReturnsNull)
+{
+    const Json v = Json::parse("{\"a\": 1}");
+    EXPECT_THROW(v.at("b"), JsonError);
+    EXPECT_EQ(v.find("b"), nullptr);
+    EXPECT_NE(v.find("a"), nullptr);
+}
+
+} // namespace
+} // namespace gga

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/graph_store.hpp"
 #include "graph/presets.hpp"
 #include "model/algo_props.hpp"
 #include "model/config.hpp"
@@ -140,8 +141,8 @@ TEST(DecisionTree, ReproducesPaperTableV)
         {"SGR", "SGR", "SGR", "SGR", "SGR", "DD1"},
     };
     for (std::size_t gi = 0; gi < kAllGraphPresets.size(); ++gi) {
-        const TaxonomyProfile prof =
-            profileGraph(presetGraph(kAllGraphPresets[gi]));
+        const TaxonomyProfile prof = profileGraph(
+            *GraphStore::instance().get(kAllGraphPresets[gi]));
         for (std::size_t ai = 0; ai < kAllApps.size(); ++ai) {
             const auto cfg =
                 predictFullDesignSpace(prof, algoProperties(kAllApps[ai]));

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Tests for the resident service: HTTP transport, request routing
+ * (driven through the socketless Service::handle seam), multi-tenant
+ * admission, local job lifecycle with long-poll and result streaming,
+ * and the remote orchestration protocol — assignment leases, part
+ * verification, duplicate discard, retry with backoff, and the
+ * byte-identity of a remotely merged job to an in-process runManifest.
+ */
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/run.hpp"
+#include "harness/workloads.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+
+namespace gga {
+namespace {
+
+WorkUnit
+unitFor(AppId app, const char* cfg, double scale = 0.05)
+{
+    WorkUnit u;
+    u.app = app;
+    u.preset = GraphPreset::Dct;
+    u.scale = scale;
+    u.config = parseConfig(cfg);
+    return u;
+}
+
+/** 4 fast units on the small Dct preset. */
+Manifest
+tinyManifest()
+{
+    Manifest m;
+    m.add(unitFor(AppId::Mis, "SG1"));
+    m.add(unitFor(AppId::Mis, "TG0"));
+    m.add(unitFor(AppId::Cc, "DG1"));
+    m.add(unitFor(AppId::Cc, "DD1"));
+    return m;
+}
+
+HttpRequest
+request(std::string method, std::string path,
+        std::map<std::string, std::string> query = {},
+        std::string body = {},
+        std::map<std::string, std::string> headers = {})
+{
+    HttpRequest r;
+    r.method = std::move(method);
+    r.path = std::move(path);
+    r.target = r.path;
+    r.query = std::move(query);
+    r.body = std::move(body);
+    r.headers = std::move(headers);
+    return r;
+}
+
+ServiceOptions
+quickOptions()
+{
+    ServiceOptions o;
+    o.port = 0;
+    o.session.threads = 2;
+    o.retry.leaseMs = 40;
+    o.retry.retryBaseMs = 1;
+    o.retry.retryCapMs = 4;
+    o.retry.maxAttempts = 3;
+    o.tickMs = 5;
+    return o;
+}
+
+Json
+parseBody(const HttpResponse& r)
+{
+    return Json::parse(r.body);
+}
+
+/** Poll job status through handle() until terminal; returns the state. */
+std::string
+awaitTerminal(Service& svc, const std::string& id)
+{
+    std::uint64_t since = 0;
+    for (int i = 0; i < 600; ++i) {
+        const HttpResponse r = svc.handle(request(
+            "GET", "/v1/jobs/" + id,
+            {{"wait_ms", "200"}, {"since", std::to_string(since)}}));
+        EXPECT_EQ(r.status, 200) << r.body;
+        const Json j = parseBody(r);
+        const std::string state = j.at("state").asString();
+        if (state == "done" || state == "failed" || state == "canceled")
+            return state;
+        since = j.at("version").asU64();
+    }
+    return "timeout";
+}
+
+// --- transport -----------------------------------------------------------
+
+TEST(ServeHttp, SocketedRequestsRouteAndKeepAliveWorks)
+{
+    Service svc(quickOptions());
+    svc.start();
+    ASSERT_NE(svc.port(), 0);
+
+    const HttpResponse ok = httpRequest(svc.port(), "GET", "/healthz");
+    EXPECT_EQ(ok.status, 200);
+    EXPECT_EQ(parseBody(ok).at("status").asString(), "ok");
+
+    EXPECT_EQ(httpRequest(svc.port(), "GET", "/nope").status, 404);
+    EXPECT_EQ(httpRequest(svc.port(), "POST", "/healthz").status, 405);
+    // A malformed JSON body is a client error, not a connection killer.
+    EXPECT_EQ(httpRequest(svc.port(), "POST", "/v1/jobs", "{oops").status,
+              400);
+
+    const HttpResponse stats = httpRequest(svc.port(), "GET", "/stats");
+    EXPECT_EQ(stats.status, 200);
+    EXPECT_EQ(parseBody(stats).at("jobs").at("total").asU64(), 0u);
+
+    svc.stop();
+    EXPECT_THROW(httpRequest(svc.port(), "GET", "/healthz"), ServeError);
+}
+
+TEST(ServeHttp, QueryParametersDecode)
+{
+    Service svc(quickOptions());
+    svc.start();
+    // tenant filter percent-decodes and round-trips through the listing
+    const HttpResponse r =
+        httpRequest(svc.port(), "GET", "/v1/jobs?tenant=team%20a");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(parseBody(r).at("jobs").asArray().size(), 0u);
+}
+
+// --- submit validation ---------------------------------------------------
+
+TEST(ServeSubmit, RejectsMalformedBodies)
+{
+    Service svc(quickOptions());
+    const Manifest m = tinyManifest();
+    const std::string manifestText = m.toJson().dump();
+
+    const auto post = [&](const std::string& body) {
+        return svc.handle(request("POST", "/v1/jobs", {}, body)).status;
+    };
+    EXPECT_EQ(post("{}"), 400); // neither plan nor manifest
+    EXPECT_EQ(post("{\"plan\": " + m.units()[0].toJson().dump() +
+                   ", \"manifest\": " + manifestText + "}"),
+              400); // both
+    EXPECT_EQ(post("{\"manifest\": " + manifestText +
+                   ", \"execution\": \"elsewhere\"}"),
+              400);
+    EXPECT_EQ(post("{\"manifest\": " + manifestText +
+                   ", \"shards\": 2}"),
+              400); // shards without remote
+    EXPECT_EQ(post("{\"manifest\": " + manifestText +
+                   ", \"execution\": \"remote\", \"shards\": 99}"),
+              400); // more shards than units
+    EXPECT_EQ(post("{\"manifest\": {\"units\": []}}"), 400); // empty
+    EXPECT_EQ(post("{\"plan\": {\"app\": \"NOPE\"}}"), 400);
+}
+
+TEST(ServeSubmit, UnknownJobIs404)
+{
+    Service svc(quickOptions());
+    EXPECT_EQ(svc.handle(request("GET", "/v1/jobs/job-99")).status, 404);
+    EXPECT_EQ(svc.handle(request("GET", "/v1/jobs/job-99/results")).status,
+              404);
+    EXPECT_EQ(svc.handle(request("GET", "/v1/jobs/job-99/render")).status,
+              404);
+    EXPECT_EQ(svc.handle(request("DELETE", "/v1/jobs/job-99")).status,
+              404);
+}
+
+// --- multi-tenant admission ----------------------------------------------
+
+TEST(ServeAdmission, PerTenantBoundRejectsWith429)
+{
+    ServiceOptions o = quickOptions();
+    o.maxQueuedPerTenant = 1;
+    Service svc(o);
+    // Remote jobs with no connected workers stay live indefinitely.
+    const std::string body = "{\"manifest\": " +
+                             tinyManifest().toJson().dump() +
+                             ", \"execution\": \"remote\", \"shards\": 2}";
+
+    const HttpResponse first = svc.handle(request(
+        "POST", "/v1/jobs", {}, body, {{"x-gga-tenant", "alice"}}));
+    ASSERT_EQ(first.status, 202) << first.body;
+    const std::string id = parseBody(first).at("id").asString();
+    EXPECT_EQ(parseBody(first).at("tenant").asString(), "alice");
+
+    // Same tenant: over quota. Different tenant: admitted.
+    EXPECT_EQ(svc.handle(request("POST", "/v1/jobs", {}, body,
+                                 {{"x-gga-tenant", "alice"}}))
+                  .status,
+              429);
+    EXPECT_EQ(svc.handle(request("POST", "/v1/jobs", {}, body,
+                                 {{"x-gga-tenant", "bob"}}))
+                  .status,
+              202);
+
+    // Canceling frees the quota.
+    EXPECT_EQ(svc.handle(request("DELETE", "/v1/jobs/" + id)).status, 200);
+    EXPECT_EQ(svc.handle(request("POST", "/v1/jobs", {}, body,
+                                 {{"x-gga-tenant", "alice"}}))
+                  .status,
+              202);
+
+    // The listing filters by tenant.
+    const HttpResponse listed = svc.handle(
+        request("GET", "/v1/jobs", {{"tenant", "bob"}}));
+    EXPECT_EQ(parseBody(listed).at("jobs").asArray().size(), 1u);
+}
+
+// --- local jobs ----------------------------------------------------------
+
+TEST(ServeLocal, JobRunsToDoneAndStreamsRows)
+{
+    Service svc(quickOptions());
+    const Manifest manifest = tinyManifest();
+
+    const HttpResponse sub = svc.handle(
+        request("POST", "/v1/jobs", {},
+                "{\"manifest\": " + manifest.toJson().dump() + "}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    const Json snap = parseBody(sub);
+    const std::string id = snap.at("id").asString();
+    EXPECT_EQ(snap.at("tenant").asString(), "default");
+    EXPECT_EQ(snap.at("execution").asString(), "local");
+    EXPECT_EQ(snap.at("total_units").asU64(), manifest.size());
+
+    EXPECT_EQ(awaitTerminal(svc, id), "done");
+
+    // Stream the rows out in two pages via the after cursor.
+    const HttpResponse page1 = svc.handle(request(
+        "GET", "/v1/jobs/" + id + "/results", {{"after", "0"}}));
+    ASSERT_EQ(page1.status, 200);
+    const Json p1 = parseBody(page1);
+    EXPECT_TRUE(p1.at("done").asBool());
+    EXPECT_EQ(p1.at("rows").asArray().size(), manifest.size());
+    EXPECT_EQ(p1.at("next").asU64(), manifest.size());
+    const HttpResponse page2 = svc.handle(
+        request("GET", "/v1/jobs/" + id + "/results",
+                {{"after", std::to_string(manifest.size())}}));
+    EXPECT_EQ(parseBody(page2).at("rows").asArray().size(), 0u);
+
+    // The assembled results are byte-identical to an in-process run.
+    Session reference;
+    const ResultSet expected = runManifest(reference, manifest);
+    const std::optional<ResultSet> got = svc.jobs().finalResults(id);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->toJson().dump(), expected.toJson().dump());
+
+    // No figure meta on a hand-built manifest: render is a clean 400.
+    EXPECT_EQ(svc.handle(request("GET", "/v1/jobs/" + id + "/render"))
+                  .status,
+              400);
+
+    // Stats picked up the executed units.
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    EXPECT_EQ(stats.at("jobs").at("done").asU64(), 1u);
+    EXPECT_GE(stats.at("executor").at("completed_total").asU64(),
+              manifest.size());
+    EXPECT_GE(stats.at("graph_store").at("misses").asU64(), 1u);
+    const Json& lat = stats.at("unit_latency_ms_by_app");
+    ASSERT_NE(lat.find("MIS"), nullptr);
+    EXPECT_EQ(lat.at("MIS").at("count").asU64(), 2u);
+}
+
+TEST(ServeLocal, SinglePlanJobAndInvalidPlanFails)
+{
+    Service svc(quickOptions());
+
+    WorkUnit u = unitFor(AppId::Mis, "SG1");
+    u.seed = 5; // seeded plan flows through the service unchanged
+    const HttpResponse sub = svc.handle(
+        request("POST", "/v1/jobs", {},
+                "{\"plan\": " + u.toJson().dump() + "}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    const std::string id = parseBody(sub).at("id").asString();
+    EXPECT_EQ(awaitTerminal(svc, id), "done");
+    const std::optional<ResultSet> rs = svc.jobs().finalResults(id);
+    ASSERT_TRUE(rs.has_value());
+    ASSERT_EQ(rs->size(), 1u);
+    EXPECT_EQ(rs->results()[0].key, u.key());
+
+    // A structurally valid unit with an invalid app/config pairing is
+    // admitted and then fails at plan validation, not crashes.
+    const HttpResponse bad = svc.handle(
+        request("POST", "/v1/jobs", {},
+                "{\"plan\": " +
+                    unitFor(AppId::Pr, "DD1").toJson().dump() + "}"));
+    ASSERT_EQ(bad.status, 202) << bad.body;
+    const std::string badId = parseBody(bad).at("id").asString();
+    EXPECT_EQ(awaitTerminal(svc, badId), "failed");
+    const Json snap = parseBody(
+        svc.handle(request("GET", "/v1/jobs/" + badId)));
+    EXPECT_NE(snap.at("error").asString().find("invalid run plan"),
+              std::string::npos);
+}
+
+// --- remote orchestration ------------------------------------------------
+
+/** Register a worker through the wire layer; returns its id. */
+std::string
+registerWorker(Service& svc, const std::string& name)
+{
+    const HttpResponse r = svc.handle(request(
+        "POST", "/v1/workers/register", {}, "{\"name\": \"" + name + "\"}"));
+    EXPECT_EQ(r.status, 200);
+    return parseBody(r).at("worker").asString();
+}
+
+/** One poll; nullopt on 204. */
+std::optional<Json>
+pollWorker(Service& svc, const std::string& worker)
+{
+    const HttpResponse r = svc.handle(request(
+        "POST", "/v1/workers/poll", {}, "{\"worker\": \"" + worker + "\"}"));
+    if (r.status == 204)
+        return std::nullopt;
+    EXPECT_EQ(r.status, 200) << r.body;
+    return parseBody(r);
+}
+
+/** Execute an assignment like gga_worker --connect and post the part. */
+HttpResponse
+runAndPost(Service& svc, Session& session, const std::string& worker,
+           const Json& assignment)
+{
+    const Manifest shard = Manifest::fromJson(assignment.at("manifest"));
+    const ResultSet results = runManifest(session, shard);
+    Json part = Json::object();
+    part.set("worker", Json(worker));
+    part.set("job", assignment.at("job"));
+    part.set("shard", assignment.at("shard"));
+    part.set("results", results.toJson());
+    return svc.handle(
+        request("POST", "/v1/workers/parts", {}, part.dump()));
+}
+
+TEST(ServeRemote, ShardedJobMergesByteIdenticalWithDuplicateDiscard)
+{
+    Service svc(quickOptions());
+    const Manifest manifest = tinyManifest();
+
+    const HttpResponse sub = svc.handle(request(
+        "POST", "/v1/jobs", {},
+        "{\"manifest\": " + manifest.toJson().dump() +
+            ", \"execution\": \"remote\", \"shards\": 2}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    const std::string id = parseBody(sub).at("id").asString();
+
+    // Unknown workers are rejected before touching the orchestrator.
+    EXPECT_EQ(svc.handle(request("POST", "/v1/workers/poll", {},
+                                 "{\"worker\": \"w-bogus\"}"))
+                  .status,
+              404);
+
+    const std::string worker = registerWorker(svc, "t0");
+    Session workerSession;
+
+    std::optional<Json> a0 = pollWorker(svc, worker);
+    ASSERT_TRUE(a0.has_value());
+    EXPECT_EQ(a0->at("job").asString(), id);
+    EXPECT_EQ(a0->at("shard_count").asU64(), 2u);
+    std::optional<Json> a1 = pollWorker(svc, worker);
+    ASSERT_TRUE(a1.has_value());
+    EXPECT_NE(a0->at("shard").asU64(), a1->at("shard").asU64());
+    // Both shards leased: nothing left to hand out.
+    EXPECT_FALSE(pollWorker(svc, worker).has_value());
+
+    const HttpResponse first = runAndPost(svc, workerSession, worker, *a0);
+    EXPECT_EQ(first.status, 200);
+    EXPECT_EQ(parseBody(first).at("status").asString(), "accepted");
+
+    // A slow replica re-posting the finished shard while the job is
+    // still in flight is discarded, never merged twice.
+    const HttpResponse dup = runAndPost(svc, workerSession, worker, *a0);
+    EXPECT_EQ(dup.status, 200);
+    EXPECT_EQ(parseBody(dup).at("status").asString(), "duplicate");
+
+    const HttpResponse last = runAndPost(svc, workerSession, worker, *a1);
+    EXPECT_EQ(last.status, 200);
+    EXPECT_EQ(parseBody(last).at("status").asString(), "accepted");
+
+    EXPECT_EQ(awaitTerminal(svc, id), "done");
+
+    // Once every shard merged, the job leaves the assignment pool: a
+    // straggler part for it is unknown, not silently re-merged.
+    EXPECT_EQ(runAndPost(svc, workerSession, worker, *a1).status, 404);
+
+    Session reference;
+    const ResultSet expected = runManifest(reference, manifest);
+    const std::optional<ResultSet> got = svc.jobs().finalResults(id);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->toJson().dump(), expected.toJson().dump());
+
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    EXPECT_EQ(stats.at("orchestrator").at("completed_shards_total").asU64(),
+              2u);
+    EXPECT_EQ(stats.at("orchestrator").at("duplicate_parts_total").asU64(),
+              1u);
+}
+
+TEST(ServeRemote, BadPartIsRejectedAndShardRetried)
+{
+    Service svc(quickOptions());
+    const Manifest manifest = tinyManifest();
+
+    const HttpResponse sub = svc.handle(request(
+        "POST", "/v1/jobs", {},
+        "{\"manifest\": " + manifest.toJson().dump() +
+            ", \"execution\": \"remote\", \"shards\": 1}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    const std::string id = parseBody(sub).at("id").asString();
+
+    const std::string worker = registerWorker(svc, "flaky");
+    std::optional<Json> a = pollWorker(svc, worker);
+    ASSERT_TRUE(a.has_value());
+
+    // Post an empty part: fails verifyComplete, shard goes back to
+    // Waiting with backoff.
+    Json bad = Json::object();
+    bad.set("worker", Json(worker));
+    bad.set("job", a->at("job"));
+    bad.set("shard", a->at("shard"));
+    bad.set("results", ResultSet{}.toJson());
+    const HttpResponse rejected = svc.handle(
+        request("POST", "/v1/workers/parts", {}, bad.dump()));
+    EXPECT_EQ(rejected.status, 400);
+
+    // After the (1 ms) backoff the same shard is reassigned.
+    std::optional<Json> retry;
+    for (int i = 0; i < 100 && !retry; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        retry = pollWorker(svc, worker);
+    }
+    ASSERT_TRUE(retry.has_value());
+    EXPECT_EQ(retry->at("shard").asU64(), a->at("shard").asU64());
+
+    Session workerSession;
+    EXPECT_EQ(runAndPost(svc, workerSession, worker, *retry).status, 200);
+    EXPECT_EQ(awaitTerminal(svc, id), "done");
+
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    EXPECT_EQ(stats.at("orchestrator").at("rejected_parts_total").asU64(),
+              1u);
+    EXPECT_GE(stats.at("orchestrator").at("retries_total").asU64(), 1u);
+}
+
+TEST(ServeRemote, ExpiredLeasesReassignThenFailTheJob)
+{
+    ServiceOptions o = quickOptions();
+    o.retry.leaseMs = 1; // every assignment expires immediately
+    o.retry.maxAttempts = 2;
+    Service svc(o); // not started: tick() driven by hand
+    const Manifest manifest = tinyManifest();
+
+    const HttpResponse sub = svc.handle(request(
+        "POST", "/v1/jobs", {},
+        "{\"manifest\": " + manifest.toJson().dump() +
+            ", \"execution\": \"remote\", \"shards\": 1}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    const std::string id = parseBody(sub).at("id").asString();
+
+    const std::string worker = registerWorker(svc, "crashy");
+
+    // Attempt 1: lease, let it expire, never post the part.
+    ASSERT_TRUE(pollWorker(svc, worker).has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    svc.orchestrator().tick();
+
+    // Attempt 2: reassigned after backoff; expire it too.
+    std::optional<Json> again;
+    for (int i = 0; i < 100 && !again; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        again = pollWorker(svc, worker);
+    }
+    ASSERT_TRUE(again.has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    svc.orchestrator().tick();
+
+    // Out of attempts: the job fails with a lease-expiry error.
+    const Json snap = parseBody(
+        svc.handle(request("GET", "/v1/jobs/" + id)));
+    EXPECT_EQ(snap.at("state").asString(), "failed");
+    EXPECT_FALSE(snap.at("error").asString().empty());
+    EXPECT_FALSE(pollWorker(svc, worker).has_value());
+
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    EXPECT_EQ(stats.at("orchestrator").at("expired_leases_total").asU64(),
+              2u);
+}
+
+// --- policy arithmetic ---------------------------------------------------
+
+TEST(RetryPolicy, BackoffDoublesAndCaps)
+{
+    RetryPolicy p;
+    p.retryBaseMs = 500;
+    p.retryCapMs = 8000;
+    EXPECT_EQ(p.backoffMs(1), 500u);
+    EXPECT_EQ(p.backoffMs(2), 1000u);
+    EXPECT_EQ(p.backoffMs(3), 2000u);
+    EXPECT_EQ(p.backoffMs(5), 8000u);
+    EXPECT_EQ(p.backoffMs(20), 8000u); // no overflow wraparound
+}
+
+TEST(LatencyHistogramTest, BucketsByLog2)
+{
+    LatencyHistogram h;
+    h.record(0.5); // bucket 0: < 1 ms
+    h.record(3.0); // bucket 2: [2, 4)
+    h.record(3.5);
+    h.record(1e9); // clamps into the top bucket
+    EXPECT_EQ(h.count, 4u);
+    EXPECT_DOUBLE_EQ(h.maxMs, 1e9);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[2], 2u);
+    EXPECT_EQ(h.buckets[LatencyHistogram::kBuckets - 1], 1u);
+}
+
+} // namespace
+} // namespace gga

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/graph_store.hpp"
 #include "graph/builder.hpp"
 #include "graph/presets.hpp"
 #include "taxonomy/kmeans.hpp"
@@ -89,9 +90,9 @@ TEST(Reuse, CrossBlockBipartiteIsFullyRemote)
 
 TEST(Reuse, AnlPlusAnrIsAverageDegree)
 {
-    const CsrGraph& g = presetGraph(GraphPreset::Dct);
-    const ReuseMetrics m = computeReuse(g, GpuGeometry{});
-    EXPECT_NEAR(m.anl + m.anr, g.avgDegree(), 1e-9);
+    const GraphStore::GraphPtr g = GraphStore::instance().get(GraphPreset::Dct);
+    const ReuseMetrics m = computeReuse(*g, GpuGeometry{});
+    EXPECT_NEAR(m.anl + m.anr, g->avgDegree(), 1e-9);
 }
 
 TEST(Imbalance, UniformDegreesAreBalanced)
@@ -133,7 +134,8 @@ TEST(Imbalance, GapBelowThresholdNotMarked)
 TEST(Profile, PresetClassesMatchTableII)
 {
     for (GraphPreset p : kAllGraphPresets) {
-        const TaxonomyProfile prof = profileGraph(presetGraph(p));
+        const TaxonomyProfile prof =
+            profileGraph(*GraphStore::instance().get(p));
         const PaperGraphStats& paper = paperStats(p);
         EXPECT_EQ(levelChar(prof.volume), paper.volumeClass)
             << presetName(p);
@@ -147,12 +149,12 @@ TEST(Profile, PresetClassesMatchTableII)
 TEST(Profile, PresetCountsAreExact)
 {
     for (GraphPreset p : kAllGraphPresets) {
-        const CsrGraph& g = presetGraph(p);
+        const GraphStore::GraphPtr g = GraphStore::instance().get(p);
         const PaperGraphStats& paper = paperStats(p);
-        EXPECT_EQ(g.numVertices(), paper.vertices) << presetName(p);
-        EXPECT_EQ(g.numEdges(), paper.edges) << presetName(p);
-        EXPECT_TRUE(g.isSymmetric()) << presetName(p);
-        EXPECT_TRUE(g.hasNoSelfLoops()) << presetName(p);
+        EXPECT_EQ(g->numVertices(), paper.vertices) << presetName(p);
+        EXPECT_EQ(g->numEdges(), paper.edges) << presetName(p);
+        EXPECT_TRUE(g->isSymmetric()) << presetName(p);
+        EXPECT_TRUE(g->hasNoSelfLoops()) << presetName(p);
     }
 }
 

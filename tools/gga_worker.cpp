@@ -1,7 +1,14 @@
 /**
  * @file
- * gga_worker: execute one shard of a work-unit manifest and write the
- * shard's ResultSet as JSON.
+ * gga_worker: execute manifest shards, either offline or connected.
+ *
+ * Offline (the original mode): execute one shard of a work-unit
+ * manifest file and write the shard's ResultSet as JSON.
+ *
+ * Connected (--connect): register with a resident gga_serve instance,
+ * pull shard assignments over HTTP, run each one, and push the parts
+ * back — no files involved. Both modes run the same runManifest path,
+ * so a connected worker's parts are bit-identical to offline shards.
  *
  * Workers are stateless: everything a unit needs (app, input, config,
  * hardware parameters, seed) is in the manifest, and the simulator is
@@ -10,12 +17,20 @@
  * out on the in-process TaskPool executor (--threads).
  *
  * Usage: gga_worker --manifest FILE [--shard I/N] [--policy rr|cost]
- *                   [--out FILE] [--threads T] [--graph-budget-mb M]
- *                   [--graph-cache DIR] [--verbose]
+ *                   [--out FILE] [common options]
+ *        gga_worker --connect PORT [--name NAME] [--idle-exit-ms MS]
+ *                   [--poll-ms MS] [--exit-after-assignments N]
+ *                   [common options]
  *   --shard   this worker's slice; default 0/1 (the whole manifest)
  *   --policy  shard assignment: rr (round-robin, default) or cost
  *             (balance estimated edge-work)
  *   --out     output path; default part_<I>.json
+ *   --connect  port of a local gga_serve to pull assignments from
+ *   --idle-exit-ms  exit after this long with no assignment (0 = never)
+ *   --exit-after-assignments  test hook: die (exit 17) upon receiving
+ *             the Nth assignment, before running it — exercises the
+ *             server's lease retry
+ *   common:
  *   --threads executor width; default GGA_SESSION_THREADS (then 1)
  *   --graph-budget-mb  LRU byte budget for cached input graphs, so many
  *             workers on one host don't each hold every graph
@@ -30,7 +45,23 @@
 #include <string>
 
 #include "eval/run.hpp"
+#include "serve/worker_client.hpp"
 #include "support/log.hpp"
+
+namespace {
+
+/** Strict non-negative integer argument parse; fatal on garbage. */
+unsigned long
+parseCount(const char* flag, const char* text)
+{
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || text[0] == '-')
+        GGA_FATAL(flag, " wants a non-negative integer, got '", text, "'");
+    return v;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -44,6 +75,8 @@ main(int argc, char** argv)
     std::size_t budget_mb = 0;
     std::string graph_cache;
     bool verbose = false;
+    gga::WorkerClientOptions client;
+    bool connect = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--manifest") && i + 1 < argc) {
             manifest_path = argv[++i];
@@ -72,22 +105,29 @@ main(int argc, char** argv)
                 GGA_FATAL("--policy wants rr or cost, got '", p, "'");
         } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
             out = argv[++i];
+        } else if (!std::strcmp(argv[i], "--connect") && i + 1 < argc) {
+            connect = true;
+            client.port = static_cast<std::uint16_t>(
+                parseCount("--connect", argv[++i]));
+        } else if (!std::strcmp(argv[i], "--name") && i + 1 < argc) {
+            client.name = argv[++i];
+        } else if (!std::strcmp(argv[i], "--idle-exit-ms") && i + 1 < argc) {
+            client.idleExitMs = static_cast<unsigned>(
+                parseCount("--idle-exit-ms", argv[++i]));
+        } else if (!std::strcmp(argv[i], "--poll-ms") && i + 1 < argc) {
+            client.pollMs = static_cast<unsigned>(
+                parseCount("--poll-ms", argv[++i]));
+        } else if (!std::strcmp(argv[i], "--exit-after-assignments") &&
+                   i + 1 < argc) {
+            client.exitAfterAssignments = static_cast<unsigned>(
+                parseCount("--exit-after-assignments", argv[++i]));
         } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-            const char* text = argv[++i];
-            char* end = nullptr;
-            threads = static_cast<unsigned>(std::strtoul(text, &end, 10));
-            if (end == text || *end != '\0' || text[0] == '-')
-                GGA_FATAL("--threads wants a non-negative integer, got '",
-                          text, "'");
+            threads =
+                static_cast<unsigned>(parseCount("--threads", argv[++i]));
         } else if (!std::strcmp(argv[i], "--graph-budget-mb") &&
                    i + 1 < argc) {
-            const char* text = argv[++i];
-            char* end = nullptr;
             budget_mb = static_cast<std::size_t>(
-                std::strtoul(text, &end, 10));
-            if (end == text || *end != '\0' || text[0] == '-')
-                GGA_FATAL("--graph-budget-mb wants a non-negative "
-                          "integer, got '", text, "'");
+                parseCount("--graph-budget-mb", argv[++i]));
         } else if (!std::strcmp(argv[i], "--graph-cache") && i + 1 < argc) {
             graph_cache = argv[++i];
         } else if (!std::strcmp(argv[i], "--verbose")) {
@@ -95,28 +135,39 @@ main(int argc, char** argv)
         } else {
             GGA_FATAL("unknown argument '", argv[i],
                       "'; usage: gga_worker --manifest FILE [--shard I/N] "
-                      "[--policy rr|cost] [--out FILE] [--threads T] "
+                      "[--policy rr|cost] [--out FILE] | --connect PORT "
+                      "[--name NAME] [--idle-exit-ms MS] [--poll-ms MS] "
+                      "[--exit-after-assignments N]  plus [--threads T] "
                       "[--graph-budget-mb M] [--graph-cache DIR] "
                       "[--verbose]");
         }
     }
-    if (manifest_path.empty())
-        GGA_FATAL("missing --manifest FILE");
-    if (out.empty())
-        out = "part_" + std::to_string(shard_index) + ".json";
+    if (connect == !manifest_path.empty())
+        GGA_FATAL("need exactly one of --manifest FILE or --connect PORT");
     gga::setVerbose(verbose);
 
+    gga::SessionOptions opts;
+    opts.threads = threads;
+    opts.verboseRuns = verbose;
+    opts.graphBudgetBytes = budget_mb * 1024 * 1024;
+    opts.graphCacheDir = graph_cache;
+
     try {
+        gga::Session session(opts);
+        if (connect) {
+            const std::size_t posted =
+                gga::runWorkerClient(session, client);
+            std::cout << "posted " << posted << " part"
+                      << (posted == 1 ? "" : "s") << " ("
+                      << session.threads() << " threads)\n";
+            return 0;
+        }
+
         const gga::Manifest manifest = gga::Manifest::load(manifest_path);
         const gga::Manifest shard =
             manifest.shard(shard_index, shard_count, policy);
-
-        gga::SessionOptions opts;
-        opts.threads = threads;
-        opts.verboseRuns = verbose;
-        opts.graphBudgetBytes = budget_mb * 1024 * 1024;
-        opts.graphCacheDir = graph_cache;
-        gga::Session session(opts);
+        if (out.empty())
+            out = "part_" + std::to_string(shard_index) + ".json";
 
         const gga::ResultSet results = gga::runManifest(session, shard);
         results.save(out);
