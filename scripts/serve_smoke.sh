@@ -18,9 +18,11 @@ work=$(mktemp -d)
 
 cleanup() {
   # The smoke leaves nothing running: kill the service and any workers.
-  [[ -n "${serve_pid:-}" ]] && kill "$serve_pid" 2>/dev/null || true
-  [[ -n "${worker_pid:-}" ]] && kill "$worker_pid" 2>/dev/null || true
-  [[ -n "${crashy_pid:-}" ]] && kill "$crashy_pid" 2>/dev/null || true
+  for pid in "${serve_pid:-}" "${worker_pid:-}" "${crashy_pid:-}"; do
+    if [[ -n "$pid" ]]; then
+      kill "$pid" 2>/dev/null || true
+    fi
+  done
   wait 2>/dev/null || true
   rm -rf "$work"
 }

@@ -98,7 +98,7 @@ GraphStore::getOrBuild(const Key& key)
     std::string cache_dir;
     unsigned build_threads = 0;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = cache_.find(key);
         if (it == cache_.end()) {
             builder = true;
@@ -131,7 +131,7 @@ GraphStore::getOrBuild(const Key& key)
                 built = buildPreset(key, cache_dir, build_threads);
             }
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 auto it = cache_.find(key);
                 // Account only the slot this build inserted: an evict()
                 // racing the build may have dropped it (and a later get()
@@ -148,7 +148,7 @@ GraphStore::getOrBuild(const Key& key)
             // Don't poison the cache slot: drop it so the next get()
             // retries, and propagate the failure to current waiters.
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 auto it = cache_.find(key);
                 if (it != cache_.end() && it->second.id == build_id)
                     cache_.erase(it);
@@ -190,10 +190,9 @@ GraphStore::enforceBudgetLocked()
 }
 
 bool
-GraphStore::evict(GraphPreset p, double scale)
+GraphStore::evictSlotLocked(const Key& key)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(Key{p, quantizeScale(scale), {}});
+    auto it = cache_.find(key);
     if (it == cache_.end())
         return false;
     if (it->second.ready) {
@@ -205,24 +204,23 @@ GraphStore::evict(GraphPreset p, double scale)
 }
 
 bool
+GraphStore::evict(GraphPreset p, double scale)
+{
+    MutexLock lock(mu_);
+    return evictSlotLocked(Key{p, quantizeScale(scale), {}});
+}
+
+bool
 GraphStore::evictFile(const std::string& path)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(Key{GraphPreset::Amz, kScaleUnits, path});
-    if (it == cache_.end())
-        return false;
-    if (it->second.ready) {
-        totalBytes_ -= it->second.bytes;
-        ++evictions_;
-    }
-    cache_.erase(it);
-    return true;
+    MutexLock lock(mu_);
+    return evictSlotLocked(Key{GraphPreset::Amz, kScaleUnits, path});
 }
 
 void
 GraphStore::clear()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [key, slot] : cache_) {
         (void)key;
         if (slot.ready)
@@ -235,14 +233,14 @@ GraphStore::clear()
 std::size_t
 GraphStore::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cache_.size();
 }
 
 void
 GraphStore::setBudgetBytes(std::size_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     budgetBytes_ = bytes;
     enforceBudgetLocked();
 }
@@ -250,42 +248,42 @@ GraphStore::setBudgetBytes(std::size_t bytes)
 void
 GraphStore::setCacheDir(std::string dir)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cacheDir_ = std::move(dir);
 }
 
 std::string
 GraphStore::cacheDir() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cacheDir_;
 }
 
 void
 GraphStore::setBuildThreads(unsigned threads)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buildThreads_ = threads;
 }
 
 std::size_t
 GraphStore::budgetBytes() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return budgetBytes_;
 }
 
 std::size_t
 GraphStore::totalBytes() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return totalBytes_;
 }
 
 GraphStore::Counters
 GraphStore::counters() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Counters c;
     c.hits = hits_;
     c.misses = misses_;
@@ -306,7 +304,7 @@ GraphStore::stats() const
     };
     std::vector<Row> rows;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         rows.reserve(cache_.size());
         for (const auto& [key, slot] : cache_) {
             EntryStats e;

@@ -37,13 +37,13 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/presets.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace gga {
 
@@ -215,19 +215,22 @@ class GraphStore
     /** Synthesize or snapshot-load the preset graph for @p key. */
     GraphPtr buildPreset(const Key& key, const std::string& cache_dir,
                          unsigned threads) const;
-    /** Drop LRU completed entries until within budget. Caller holds mu_. */
-    void enforceBudgetLocked();
+    /** Drop LRU completed entries until within budget. */
+    void enforceBudgetLocked() GGA_REQUIRES(mu_);
+    /** Drop the slot for @p key (if any), keeping byte/eviction
+     *  accounting intact; returns whether an entry was present. */
+    bool evictSlotLocked(const Key& key) GGA_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::map<Key, Slot> cache_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
-    std::uint64_t useTick_ = 0;
-    std::size_t budgetBytes_ = 0;
-    std::size_t totalBytes_ = 0;
-    std::string cacheDir_;
-    unsigned buildThreads_ = 0;
+    mutable Mutex mu_;
+    std::map<Key, Slot> cache_ GGA_GUARDED_BY(mu_);
+    std::uint64_t hits_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t misses_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t evictions_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t useTick_ GGA_GUARDED_BY(mu_) = 0;
+    std::size_t budgetBytes_ GGA_GUARDED_BY(mu_) = 0;
+    std::size_t totalBytes_ GGA_GUARDED_BY(mu_) = 0;
+    std::string cacheDir_ GGA_GUARDED_BY(mu_);
+    unsigned buildThreads_ GGA_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace gga

@@ -283,6 +283,12 @@ class Session
     std::uint64_t completedTasks() const;
 
   private:
+    // Lock-free by design: opts_ is immutable after construction, and
+    // the lazily-started executor is published with std::call_once plus
+    // release/acquire atomics — poolStarted_ orders pool_'s construction
+    // before any telemetry reader dereferences it. No mutex, so nothing
+    // here is GUARDED_BY; the annotated classes live one layer down
+    // (TaskPool, GraphStore).
     SessionOptions opts_;
     std::once_flag poolOnce_;
     std::unique_ptr<TaskPool> pool_;

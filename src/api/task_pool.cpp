@@ -35,7 +35,7 @@ TaskPool::TaskPool(unsigned threads)
 TaskPool::~TaskPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -48,7 +48,7 @@ TaskPool::post(std::function<void()> job)
 {
     GGA_ASSERT(job, "TaskPool::post requires a callable job");
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         GGA_ASSERT(!stopping_, "TaskPool::post after shutdown began");
         queue_.push_back(std::move(job));
     }
@@ -58,7 +58,7 @@ TaskPool::post(std::function<void()> job)
 std::size_t
 TaskPool::pending() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queue_.size();
 }
 
@@ -74,19 +74,26 @@ TaskPool::completedTotal() const
     return completed_.load(std::memory_order_relaxed);
 }
 
+std::function<void()>
+TaskPool::nextJob()
+{
+    MutexLock lock(mu_);
+    while (!stopping_ && queue_.empty())
+        cv_.wait(mu_);
+    if (queue_.empty())
+        return {}; // stopping, queue drained
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    return job;
+}
+
 void
 TaskPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> job;
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stopping, queue drained
-            job = std::move(queue_.front());
-            queue_.pop_front();
-        }
+        std::function<void()> job = nextJob();
+        if (!job)
+            return;
         active_.fetch_add(1, std::memory_order_relaxed);
         // A submit() job never throws (packaged_task captures); a raw
         // post() job that throws would terminate, same as std::thread.

@@ -18,16 +18,16 @@
 #define GGA_API_TASK_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace gga {
 
@@ -83,11 +83,15 @@ class TaskPool
 
   private:
     void workerLoop();
+    /** Pop the next job; empty once stopping_ with a drained queue. */
+    std::function<void()> nextJob();
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    bool stopping_ = false;
+    mutable Mutex mu_;
+    CondVar cv_;
+    std::deque<std::function<void()>> queue_ GGA_GUARDED_BY(mu_);
+    bool stopping_ GGA_GUARDED_BY(mu_) = false;
+    /** Only mutated in the constructor, before and after the spawn loop
+     *  runs — never while workers can observe it. */
     std::vector<std::thread> workers_;
     std::atomic<unsigned> active_{0};
     std::atomic<std::uint64_t> completed_{0};

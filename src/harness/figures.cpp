@@ -1,6 +1,8 @@
 #include "harness/figures.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdint>
 #include <future>
 
 #include "api/graph_store.hpp"
@@ -323,8 +325,17 @@ figureSetFromManifest(const Manifest& manifest)
         throw EvalError(
             "manifest carries no figure/scale_units/predictions meta; it "
             "was not generated by figureSet (gga_manifest)");
-    const double scale =
-        std::stod(scale_units->second) / kScaleUnitsPerOne;
+    // scale_units is written as integer micro-units (quantizeScale);
+    // parse with from_chars — std::stod honours LC_NUMERIC and this
+    // value must round-trip byte-identically across locales.
+    std::int64_t units = 0;
+    const char* ub = scale_units->second.data();
+    const char* ue = ub + scale_units->second.size();
+    const auto ur = std::from_chars(ub, ue, units);
+    if (ur.ec != std::errc() || ur.ptr != ue)
+        throw EvalError("manifest scale_units is not an integer: " +
+                        scale_units->second);
+    const double scale = static_cast<double>(units) / kScaleUnitsPerOne;
     const bool full = manifest.meta.count("full") != 0;
 
     const std::vector<SystemConfig> predictions =

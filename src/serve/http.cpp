@@ -258,7 +258,7 @@ void
 HttpServer::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (stopping_)
             return;
         stopping_ = true;
@@ -272,7 +272,7 @@ HttpServer::stop()
         acceptThread_.join();
     std::vector<std::thread> threads;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         threads.swap(connThreads_);
     }
     for (std::thread& t : threads)
@@ -284,22 +284,29 @@ HttpServer::stop()
     }
 }
 
+bool
+HttpServer::stopRequested()
+{
+    MutexLock lock(mu_);
+    return stopping_;
+}
+
 void
 HttpServer::acceptLoop()
 {
     while (true) {
         const int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0) {
-            std::lock_guard<std::mutex> lock(mu_);
-            if (stopping_)
+            const int err = errno; // before any lock/syscall clobbers it
+            if (stopRequested())
                 return;
-            if (errno == EINTR || errno == ECONNABORTED)
+            if (err == EINTR || err == ECONNABORTED)
                 continue;
             return; // listener gone
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (stopping_) {
             ::close(fd);
             return;
@@ -359,11 +366,8 @@ HttpServer::serveConnection(int fd)
         if (const auto it = req.headers.find("connection");
             it != req.headers.end())
             keepAlive = toLower(it->second) != "close";
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            if (stopping_)
-                break;
-        }
+        if (stopRequested())
+            break;
 
         HttpResponse resp;
         try {
@@ -378,7 +382,7 @@ HttpServer::serveConnection(int fd)
     }
 done:
     ::close(fd);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     connFds_.erase(fd);
 }
 

@@ -24,12 +24,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace gga {
 
@@ -108,15 +109,23 @@ class HttpServer
   private:
     void acceptLoop();
     void serveConnection(int fd);
+    /** True once stop() has begun (checked between requests). */
+    bool stopRequested();
 
     Handler handler_;
+    /**
+     * Written by start() before the accept thread exists and reset by
+     * stop() after every thread joined, so the unlocked reads in
+     * acceptLoop() are ordered by thread creation/join; stop()'s
+     * ::shutdown() on it is a syscall on a stable fd, not a data race.
+     */
     int listenFd_ = -1;
-    std::uint16_t port_ = 0;
+    std::uint16_t port_ = 0; ///< same start()-only write discipline
     std::thread acceptThread_;
-    std::mutex mu_;
-    bool stopping_ = false;
-    std::set<int> connFds_;
-    std::vector<std::thread> connThreads_;
+    Mutex mu_;
+    bool stopping_ GGA_GUARDED_BY(mu_) = false;
+    std::set<int> connFds_ GGA_GUARDED_BY(mu_);
+    std::vector<std::thread> connThreads_ GGA_GUARDED_BY(mu_);
 };
 
 /**

@@ -72,7 +72,7 @@ std::string
 JobTable::create(const std::string& tenant, Manifest manifest, bool remote,
                  std::size_t shards)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (liveCountLocked(tenant) >= maxQueuedPerTenant_)
         throw AdmissionError("tenant '" + tenant + "' already has " +
                              std::to_string(maxQueuedPerTenant_) +
@@ -93,7 +93,7 @@ JobTable::create(const std::string& tenant, Manifest manifest, bool remote,
 std::optional<Manifest>
 JobTable::manifestOf(const std::string& id) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
         return std::nullopt;
@@ -103,7 +103,7 @@ JobTable::manifestOf(const std::string& id) const
 void
 JobTable::unitDone(const std::string& id, const UnitEvent& ev)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
         return;
@@ -128,7 +128,7 @@ JobTable::unitDone(const std::string& id, const UnitEvent& ev)
 void
 JobTable::markRunning(const std::string& id)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || it->second.state != JobState::Queued)
         return;
@@ -140,7 +140,7 @@ void
 JobTable::addRemoteProgress(const std::string& id,
                             const std::vector<UnitResult>& rows)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || terminal(it->second.state))
         return;
@@ -154,7 +154,7 @@ JobTable::addRemoteProgress(const std::string& id,
 void
 JobTable::finishRemote(const std::string& id, ResultSet merged)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || terminal(it->second.state))
         return;
@@ -167,7 +167,7 @@ JobTable::finishRemote(const std::string& id, ResultSet merged)
 void
 JobTable::fail(const std::string& id, const std::string& why)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || terminal(it->second.state))
         return;
@@ -181,7 +181,7 @@ JobTable::fail(const std::string& id, const std::string& why)
 bool
 JobTable::cancel(const std::string& id)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || terminal(it->second.state))
         return false;
@@ -193,7 +193,7 @@ JobTable::cancel(const std::string& id)
 std::optional<JobSnapshot>
 JobTable::snapshot(const std::string& id) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
         return std::nullopt;
@@ -204,7 +204,7 @@ std::optional<JobSnapshot>
 JobTable::waitForChange(const std::string& id, std::uint64_t since,
                         unsigned waitMs) const
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(waitMs);
     while (true) {
@@ -213,7 +213,7 @@ JobTable::waitForChange(const std::string& id, std::uint64_t since,
             return std::nullopt;
         if (it->second.version > since || shutdown_)
             return snapshotLocked(it->second);
-        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
             const auto again = jobs_.find(id);
             if (again == jobs_.end())
                 return std::nullopt;
@@ -227,7 +227,7 @@ JobTable::list(const std::string& tenant) const
 {
     std::vector<std::pair<std::uint64_t, JobSnapshot>> rows;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         for (const auto& [id, j] : jobs_) {
             (void)id;
             if (!tenant.empty() && j.tenant != tenant)
@@ -249,7 +249,7 @@ JobTable::list(const std::string& tenant) const
 std::optional<JobTable::RowsPage>
 JobTable::resultsAfter(const std::string& id, std::size_t after) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end())
         return std::nullopt;
@@ -267,7 +267,7 @@ JobTable::resultsAfter(const std::string& id, std::size_t after) const
 std::optional<ResultSet>
 JobTable::finalResults(const std::string& id) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || it->second.state != JobState::Done ||
         !it->second.finalResults)
@@ -278,7 +278,7 @@ JobTable::finalResults(const std::string& id) const
 Json
 JobTable::statsJson() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::uint64_t queued = 0, running = 0, done = 0, failed = 0,
                   canceled = 0;
     std::map<std::string, std::uint64_t> perTenant;
@@ -316,7 +316,7 @@ JobTable::statsJson() const
 void
 JobTable::shutdown()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
     cv_.notify_all();
 }

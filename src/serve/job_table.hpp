@@ -23,10 +23,8 @@
 #define GGA_SERVE_JOB_TABLE_HPP
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -35,6 +33,7 @@
 #include "eval/manifest.hpp"
 #include "eval/result_set.hpp"
 #include "eval/run.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace gga {
 
@@ -196,19 +195,20 @@ class JobTable
                s == JobState::Canceled;
     }
 
-    /** Caller holds mu_. */
-    JobSnapshot snapshotLocked(const Job& j) const;
-    void bumpLocked(Job& j);
-    std::size_t liveCountLocked(const std::string& tenant) const;
-    void maybeFinishLocalLocked(Job& j);
+    JobSnapshot snapshotLocked(const Job& j) const GGA_REQUIRES(mu_);
+    void bumpLocked(Job& j) GGA_REQUIRES(mu_);
+    std::size_t liveCountLocked(const std::string& tenant) const
+        GGA_REQUIRES(mu_);
+    void maybeFinishLocalLocked(Job& j) GGA_REQUIRES(mu_);
 
     const std::size_t maxQueuedPerTenant_;
-    mutable std::mutex mu_;
-    mutable std::condition_variable cv_;
-    bool shutdown_ = false;
-    std::uint64_t nextId_ = 0;
-    std::map<std::string, Job> jobs_;
-    std::map<std::string, LatencyHistogram> latency_; ///< by app name
+    mutable Mutex mu_;
+    mutable CondVar cv_;
+    bool shutdown_ GGA_GUARDED_BY(mu_) = false;
+    std::uint64_t nextId_ GGA_GUARDED_BY(mu_) = 0;
+    std::map<std::string, Job> jobs_ GGA_GUARDED_BY(mu_);
+    /** Unit wall-time histograms by app name. */
+    std::map<std::string, LatencyHistogram> latency_ GGA_GUARDED_BY(mu_);
 };
 
 } // namespace gga

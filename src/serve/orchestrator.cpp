@@ -20,7 +20,7 @@ RetryPolicy::backoffMs(unsigned attempt) const
 std::string
 Orchestrator::registerWorker(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Worker w;
     w.name = name.empty() ? "worker" : name;
     w.lastSeen = Clock::now();
@@ -33,7 +33,7 @@ Orchestrator::registerWorker(const std::string& name)
 bool
 Orchestrator::knownWorker(const std::string& worker) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return workers_.count(worker) != 0;
 }
 
@@ -44,7 +44,7 @@ Orchestrator::enqueueJob(const std::string& jobId, std::size_t shardCount)
     const std::optional<Manifest> manifest = jobs_.manifestOf(jobId);
     if (!manifest)
         return false;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RemoteJob rj;
     rj.seq = ++nextJobSeq_;
     rj.manifest = *manifest;
@@ -56,7 +56,7 @@ Orchestrator::enqueueJob(const std::string& jobId, std::size_t shardCount)
 std::optional<Assignment>
 Orchestrator::poll(const std::string& worker)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto wit = workers_.find(worker);
     if (wit == workers_.end())
         return std::nullopt;
@@ -108,7 +108,36 @@ Orchestrator::partArrived(const std::string& worker,
                           const std::string& jobId, std::size_t shard,
                           ResultSet part, std::string* error)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::optional<Finalize> fin;
+    PartOutcome outcome;
+    {
+        MutexLock lock(mu_);
+        outcome = partArrivedLocked(worker, jobId, shard, std::move(part),
+                                    error, fin);
+    }
+    if (!fin)
+        return outcome;
+    // Last part: strict merge + full-manifest verification — the same
+    // checks gga_merge applies, so a lost or doubled shard can never
+    // produce a quietly wrong table. Runs outside mu_ so polls and
+    // other parts keep flowing during the merge.
+    try {
+        ResultSet merged = ResultSet::merge(fin->parts);
+        merged.verifyComplete(fin->manifest);
+        jobs_.finishRemote(jobId, std::move(merged));
+    } catch (const EvalError& err) {
+        jobs_.fail(jobId, std::string("merge failed: ") + err.what());
+    }
+    return outcome;
+}
+
+Orchestrator::PartOutcome
+Orchestrator::partArrivedLocked(const std::string& worker,
+                                const std::string& jobId,
+                                std::size_t shard, ResultSet part,
+                                std::string* error,
+                                std::optional<Finalize>& fin)
+{
     if (workers_.count(worker) == 0)
         return PartOutcome::Unknown;
     workers_.at(worker).lastSeen = Clock::now();
@@ -163,23 +192,14 @@ Orchestrator::partArrived(const std::string& worker,
     if (!allDone)
         return PartOutcome::Accepted;
 
-    // Last part: strict merge + full-manifest verification — the same
-    // checks gga_merge applies, so a lost or doubled shard can never
-    // produce a quietly wrong table.
-    std::vector<ResultSet> parts;
-    parts.reserve(rj.shards.size());
+    // Hand the parts to the caller's unlocked finalize step.
+    Finalize f;
+    f.parts.reserve(rj.shards.size());
     for (Shard& s : rj.shards)
-        parts.push_back(std::move(*s.part));
-    Manifest manifest = rj.manifest;
+        f.parts.push_back(std::move(*s.part));
+    f.manifest = rj.manifest;
     remote_.erase(jit);
-    lock.unlock();
-    try {
-        ResultSet merged = ResultSet::merge(parts);
-        merged.verifyComplete(manifest);
-        jobs_.finishRemote(jobId, std::move(merged));
-    } catch (const EvalError& err) {
-        jobs_.fail(jobId, std::string("merge failed: ") + err.what());
-    }
+    fin = std::move(f);
     return PartOutcome::Accepted;
 }
 
@@ -188,7 +208,7 @@ Orchestrator::tick()
 {
     std::vector<std::pair<std::string, std::string>> failures;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         const auto now = Clock::now();
         for (auto& [jobId, rj] : remote_) {
             for (std::size_t s = 0; s < rj.shards.size(); ++s) {
@@ -228,14 +248,14 @@ Orchestrator::tick()
 void
 Orchestrator::forgetJob(const std::string& jobId)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     remote_.erase(jobId);
 }
 
 Json
 Orchestrator::statsJson() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::uint64_t assigned = 0, waiting = 0;
     for (const auto& [jobId, rj] : remote_) {
         (void)jobId;

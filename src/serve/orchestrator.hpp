@@ -29,7 +29,6 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +36,7 @@
 #include "eval/manifest.hpp"
 #include "eval/result_set.hpp"
 #include "serve/job_table.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace gga {
 
@@ -156,23 +156,44 @@ class Orchestrator
         Clock::time_point lastSeen{};
     };
 
-    /** Caller holds mu_. Fails the job and drops its shard state. */
-    void failJobLocked(const std::string& jobId, const std::string& why);
+    /** Fails the job and drops its shard state. */
+    void failJobLocked(const std::string& jobId, const std::string& why)
+        GGA_REQUIRES(mu_);
+
+    /**
+     * The last shard's payload, extracted under mu_ by
+     * partArrivedLocked and merged by partArrived after the lock is
+     * gone — merging a full manifest's results is too much work to do
+     * while holding the assignment lock.
+     */
+    struct Finalize
+    {
+        std::vector<ResultSet> parts;
+        Manifest manifest;
+    };
+
+    /** The locked body of partArrived; fills @p fin on the final part. */
+    PartOutcome partArrivedLocked(const std::string& worker,
+                                  const std::string& jobId,
+                                  std::size_t shard, ResultSet part,
+                                  std::string* error,
+                                  std::optional<Finalize>& fin)
+        GGA_REQUIRES(mu_);
 
     JobTable& jobs_;
     const RetryPolicy policy_;
-    mutable std::mutex mu_;
-    std::uint64_t nextWorker_ = 0;
-    std::uint64_t nextJobSeq_ = 0;
-    std::map<std::string, Worker> workers_;
-    std::map<std::string, RemoteJob> remote_;
+    mutable Mutex mu_;
+    std::uint64_t nextWorker_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t nextJobSeq_ GGA_GUARDED_BY(mu_) = 0;
+    std::map<std::string, Worker> workers_ GGA_GUARDED_BY(mu_);
+    std::map<std::string, RemoteJob> remote_ GGA_GUARDED_BY(mu_);
     // Lifetime counters (monotonic).
-    std::uint64_t assignments_ = 0;
-    std::uint64_t retries_ = 0;
-    std::uint64_t expiredLeases_ = 0;
-    std::uint64_t rejectedParts_ = 0;
-    std::uint64_t duplicateParts_ = 0;
-    std::uint64_t completedShards_ = 0;
+    std::uint64_t assignments_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t retries_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t expiredLeases_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t rejectedParts_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t duplicateParts_ GGA_GUARDED_BY(mu_) = 0;
+    std::uint64_t completedShards_ GGA_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace gga

@@ -99,6 +99,10 @@ class Service
     // first so no new requests arrive, the ticker joins, then session_
     // drains its executor — whose callbacks touch jobs_ — and jobs_ goes
     // last.
+    // No mutex of its own, so nothing here is GUARDED_BY: every member
+    // below is internally synchronized (JobTable/Orchestrator/HttpServer
+    // carry annotated gga::Mutexes; Session is lock-free by design), and
+    // the tick thread's only shared state is the stopping_ flag.
     JobTable jobs_;
     Orchestrator orch_;
     Session session_;

@@ -12,6 +12,10 @@
  * worker hard-exits the process the moment it receives its Nth
  * assignment, before running it — exactly the "worker died mid-job"
  * case the orchestrator's lease retry exists for.
+ *
+ * Deliberately single-threaded: one blocking loop, no members, no locks
+ * — concurrency lives inside the borrowed Session (annotated classes
+ * one layer down), so there is nothing here for -Wthread-safety to see.
  */
 
 #ifndef GGA_SERVE_WORKER_CLIENT_HPP

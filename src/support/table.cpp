@@ -1,7 +1,7 @@
 #include "support/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <charconv>
 #include <sstream>
 
 namespace gga {
@@ -112,17 +112,22 @@ TextTable::toCsv() const
 std::string
 fmtDouble(double v, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-    return buf;
+    // std::to_chars is locale-independent where snprintf("%.*f") follows
+    // LC_NUMERIC; these strings are byte-identity-gated (golden tables,
+    // merge equivalence), so the decimal point must be '.' everywhere.
+    char buf[512]; // large |v| in fixed notation needs room left of '.'
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                   std::chars_format::fixed,
+                                   precision < 0 ? 0 : precision);
+    if (res.ec != std::errc())
+        return "?"; // |v| too wide for buf; no caller formats such values
+    return std::string(buf, res.ptr);
 }
 
 std::string
 fmtPct(double fraction, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
-    return buf;
+    return fmtDouble(fraction * 100.0, precision) + "%";
 }
 
 } // namespace gga

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Clang thread-safety annotations + the annotated lock vocabulary every
+ * shared-state class in the repo uses.
+ *
+ * The macros expand to Clang's capability attributes under
+ * -Wthread-safety (the clang-thread-safety CI job builds the whole tree
+ * with -Werror=thread-safety) and to nothing elsewhere, so GCC builds
+ * are unaffected. On top of them sit three tiny types:
+ *
+ *   Mutex     an annotated std::mutex: the capability the analyzer
+ *             tracks. gga_lint forbids raw std::mutex members in src/
+ *             precisely so every lock-protected invariant is visible to
+ *             this analysis.
+ *   MutexLock the scoped guard (std::lock_guard shape). Also satisfies
+ *             BasicLockable so CondVar can drop/retake it while waiting.
+ *   CondVar   a condition variable waiting on Mutex directly. Waits
+ *             REQUIRE the mutex, matching the runtime contract, so a
+ *             wait outside the lock is a compile error under clang.
+ *
+ * Discipline the analyzer enforces (and the code follows):
+ *  - shared members are GUARDED_BY their mutex and only touched in
+ *    frames that hold it (a MutexLock in scope or a REQUIRES method);
+ *  - "Locked" helper methods carry GGA_REQUIRES(mu_) instead of a
+ *    comment saying "caller holds mu_";
+ *  - condition-variable predicates are plain while-loops in the locked
+ *    frame, never lambdas (the analysis does not propagate capabilities
+ *    into lambdas);
+ *  - code that must hand a lock across frames is restructured rather
+ *    than annotated away; GGA_NO_THREAD_SAFETY_ANALYSIS exists but
+ *    nothing in src/ needs it today.
+ */
+
+#ifndef GGA_SUPPORT_THREAD_ANNOTATIONS_HPP
+#define GGA_SUPPORT_THREAD_ANNOTATIONS_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define GGA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GGA_THREAD_ANNOTATION(x) // GCC: annotations compile away
+#endif
+
+/** Marks a type as a capability ("mutex") the analyzer tracks. */
+#define GGA_CAPABILITY(x) GGA_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define GGA_SCOPED_CAPABILITY GGA_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the capability. */
+#define GGA_GUARDED_BY(x) GGA_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by the capability. */
+#define GGA_PT_GUARDED_BY(x) GGA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the capability held on entry (and exit). */
+#define GGA_REQUIRES(...) \
+    GGA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capability (held on exit, not on entry). */
+#define GGA_ACQUIRE(...) \
+    GGA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability (held on entry, not on exit). */
+#define GGA_RELEASE(...) \
+    GGA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p result. */
+#define GGA_TRY_ACQUIRE(result, ...) \
+    GGA_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/** Function must NOT be called with the capability held (deadlock). */
+#define GGA_EXCLUDES(...) GGA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Runtime-checked claim that the capability is already held. */
+#define GGA_ASSERT_CAPABILITY(x) \
+    GGA_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the capability guarding its result. */
+#define GGA_RETURN_CAPABILITY(x) GGA_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip analysis of one function. Use never; justify always. */
+#define GGA_NO_THREAD_SAFETY_ANALYSIS \
+    GGA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gga {
+
+/**
+ * std::mutex with the capability attribute the analyzer needs. Satisfies
+ * Lockable, so standard algorithms and condition_variable_any work with
+ * it unchanged.
+ */
+class GGA_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() GGA_ACQUIRE() { m_.lock(); }
+    void unlock() GGA_RELEASE() { m_.unlock(); }
+    bool try_lock() GGA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * Scoped lock on a Mutex (std::lock_guard shape, tracked by the
+ * analyzer). CondVar waits take the Mutex itself, not this guard: a
+ * wait drops and retakes the mutex, but holds it again before control
+ * returns to the locked frame, which is exactly what the analyzer
+ * assumes across an unannotated call.
+ */
+class GGA_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mu) GGA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() GGA_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mu_;
+};
+
+/**
+ * Condition variable over Mutex. Every wait names the mutex it
+ * atomically releases, annotated GGA_REQUIRES so waiting without the
+ * lock — the classic lost-wakeup bug — fails to compile under clang.
+ * Predicates stay at the call site as while-loops:
+ *
+ *   MutexLock lock(mu_);
+ *   while (!ready_)          // ready_ is GUARDED_BY(mu_): checked
+ *       cv_.wait(mu_);
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void
+    wait(Mutex& mu) GGA_REQUIRES(mu)
+    {
+        cv_.wait(mu);
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status
+    wait_until(Mutex& mu,
+               const std::chrono::time_point<Clock, Duration>& deadline)
+        GGA_REQUIRES(mu)
+    {
+        return cv_.wait_until(mu, deadline);
+    }
+
+    template <typename Rep, typename Period>
+    std::cv_status
+    wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+        GGA_REQUIRES(mu)
+    {
+        return cv_.wait_for(mu, d);
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+  private:
+    // _any: waits on our annotated Mutex directly instead of requiring a
+    // std::unique_lock<std::mutex> the analyzer cannot see through. The
+    // extra internal mutex it carries is irrelevant at this layer's
+    // contention (tasks are whole-workload simulations).
+    std::condition_variable_any cv_;
+};
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_THREAD_ANNOTATIONS_HPP

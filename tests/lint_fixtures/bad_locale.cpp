@@ -1,0 +1,23 @@
+// gga_lint fixture: locale-float must fire on printf float conversions,
+// setprecision, and locale-dependent parsing in the byte-identity-gated
+// renderers. Not compiled — linted as text by test_lint.
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace gga {
+
+std::string
+formatLatency(double cycles)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", cycles); // follows LC_NUMERIC
+    std::ostringstream os;
+    os << std::setprecision(3) << cycles;
+    const double back = std::stod(os.str());
+    (void)back;
+    return buf;
+}
+
+} // namespace gga

@@ -1,0 +1,26 @@
+// gga_lint fixture: raw-mutex must fire on unannotated standard lock
+// types in src/ — shared state goes through gga::Mutex so clang
+// -Wthread-safety sees every acquisition. Not compiled — linted as
+// text by test_lint.
+#include <condition_variable>
+#include <mutex>
+
+namespace gga {
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++n_;
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mu_; // invisible to the thread-safety analyzer
+    std::condition_variable cv_;
+    int n_ = 0;
+};
+
+} // namespace gga

@@ -1,0 +1,23 @@
+// gga_lint fixture: raw-new must fire on new and delete expressions in
+// src/ outside support/object_pool.hpp. Not compiled — linted as text
+// by test_lint.
+
+namespace gga {
+
+struct Node
+{
+    int value = 0;
+};
+
+int
+leakyRoundTrip(int v)
+{
+    Node* n = new Node{v};
+    Node* arr = new Node[4];
+    const int out = n->value;
+    delete n;
+    delete[] arr;
+    return out;
+}
+
+} // namespace gga

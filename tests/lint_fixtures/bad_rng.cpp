@@ -1,0 +1,17 @@
+// gga_lint fixture: determinism-rng must fire on every libc RNG entry
+// point when the file is scoped into src/sim/ or src/graph/. Not
+// compiled — linted as text by test_lint.
+#include <cstdlib>
+#include <random>
+
+namespace gga {
+
+unsigned
+noisySeed()
+{
+    std::random_device rd; // nondeterministic seed
+    std::srand(rd());
+    return static_cast<unsigned>(std::rand());
+}
+
+} // namespace gga

@@ -1,0 +1,19 @@
+// gga_lint fixture: determinism-unordered must fire on hash-container
+// use in the determinism core (iteration order is implementation-
+// defined). Not compiled — linted as text by test_lint.
+#include <unordered_map>
+
+namespace gga {
+
+int
+sumDegrees(const std::unordered_map<int, int>& degree)
+{
+    int total = 0;
+    for (const auto& [v, d] : degree) { // order varies run to run
+        (void)v;
+        total += d;
+    }
+    return total;
+}
+
+} // namespace gga

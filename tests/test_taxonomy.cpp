@@ -48,8 +48,9 @@ TEST(Volume, MatchesPaperFormula)
         const double kb = elems * 4 / 15 / 1024.0;
         // WNG's printed value (79.458) disagrees with its own V/E by
         // ~0.3 KB; all others match to the printed precision.
-        if (p != GraphPreset::Wng)
+        if (p != GraphPreset::Wng) {
             EXPECT_NEAR(kb, s.volumeKb, 0.01) << presetName(p);
+        }
     }
 }
 
