@@ -8,31 +8,52 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "serve/faults.hpp"
 #include "support/log.hpp"
 
 namespace gga {
 
 namespace {
 
-/** recv() the next chunk into @p buf; false on EOF/error. */
-bool
+enum class RecvResult
+{
+    Ok,      ///< appended at least one byte
+    Closed,  ///< EOF or hard error: the peer is gone
+    TimedOut ///< SO_RCVTIMEO elapsed with no bytes (slow loris)
+};
+
+/** recv() the next chunk into @p buf. */
+RecvResult
 recvSome(int fd, std::string& buf)
 {
+    if (faults::fire("http.read.fail"))
+        return RecvResult::Closed;
     char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0)
-        return false;
+    std::size_t want = sizeof chunk;
+    if (faults::fire("http.read.short"))
+        want = 1; // exercise the caller's accumulate loop
+    const ssize_t n = ::recv(fd, chunk, want, 0);
+    if (n == 0)
+        return RecvResult::Closed;
+    if (n < 0)
+        return (errno == EAGAIN || errno == EWOULDBLOCK)
+                   ? RecvResult::TimedOut
+                   : RecvResult::Closed;
     buf.append(chunk, static_cast<std::size_t>(n));
-    return true;
+    return RecvResult::Ok;
 }
 
 /** Blocking full write; false on error (peer gone). */
 bool
 sendAll(int fd, std::string_view data)
 {
+    if (faults::fire("http.write.fail"))
+        return false;
     while (!data.empty()) {
         const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
         if (n <= 0)
@@ -171,6 +192,8 @@ formatResponse(const HttpResponse& r, bool close)
                       httpStatusText(r.status) + "\r\n";
     if (!r.body.empty() || r.status != 204)
         out += "Content-Type: " + r.contentType + "\r\n";
+    for (const auto& [name, value] : r.headers)
+        out += name + ": " + value + "\r\n";
     out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
     out += close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
     out += "\r\n";
@@ -196,6 +219,7 @@ httpStatusText(int status)
     case 202: return "Accepted";
     case 204: return "No Content";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
@@ -219,9 +243,10 @@ HttpServer::~HttpServer()
 }
 
 void
-HttpServer::start(std::uint16_t port)
+HttpServer::start(std::uint16_t port, unsigned ioTimeoutMs)
 {
     GGA_ASSERT(listenFd_ < 0, "HttpServer already started");
+    ioTimeoutMs_ = ioTimeoutMs;
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         throw ServeError(std::string("socket: ") + std::strerror(errno));
@@ -255,16 +280,30 @@ HttpServer::start(std::uint16_t port)
 }
 
 void
-HttpServer::stop()
+HttpServer::stop(unsigned drainMs)
 {
     {
         MutexLock lock(mu_);
         if (stopping_)
             return;
         stopping_ = true;
-        // Unblock accept() and every connection's recv().
+        // Unblock accept(): no new connections from here on.
         if (listenFd_ >= 0)
             ::shutdown(listenFd_, SHUT_RDWR);
+    }
+    // Graceful drain: requests already inside the handler get a bounded
+    // window to write their responses. Idle keep-alive connections hold
+    // no active request, so they never delay this loop.
+    if (drainMs > 0) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(drainMs);
+        while (active_.load(std::memory_order_acquire) > 0 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    {
+        MutexLock lock(mu_);
+        // Unblock every connection's recv().
         for (int fd : connFds_)
             ::shutdown(fd, SHUT_RDWR);
     }
@@ -319,22 +358,48 @@ HttpServer::acceptLoop()
 void
 HttpServer::serveConnection(int fd)
 {
+    if (ioTimeoutMs_ > 0) {
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(ioTimeoutMs_ / 1000);
+        tv.tv_usec = static_cast<suseconds_t>(ioTimeoutMs_ % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
     std::string buf;
     bool keepAlive = true;
     while (keepAlive) {
         // Accumulate until the blank line ending the head.
         std::size_t headEnd;
         while ((headEnd = buf.find("\r\n\r\n")) == std::string::npos) {
-            if (buf.size() > kMaxBodyBytes ||
-                !recvSome(fd, buf))
+            if (buf.size() > kMaxBodyBytes)
                 goto done;
+            switch (recvSome(fd, buf)) {
+            case RecvResult::Ok:
+                continue;
+            case RecvResult::Closed:
+                goto done;
+            case RecvResult::TimedOut:
+                // A half-sent request stalled past the deadline is a
+                // slow loris: answer 408 and disconnect. An idle
+                // keep-alive connection (empty buffer) between requests
+                // is torn down silently.
+                if (!buf.empty())
+                    sendAll(fd,
+                            formatResponse(
+                                {408, "application/json",
+                                 "{\"error\":\"request read timed "
+                                 "out\"}",
+                                 {}},
+                                /*close=*/true));
+                goto done;
+            }
         }
 
         HttpRequest req;
         if (!parseHead(std::string_view(buf).substr(0, headEnd), req)) {
             sendAll(fd, formatResponse(
                             {400, "application/json",
-                             "{\"error\":\"malformed request\"}"},
+                             "{\"error\":\"malformed request\"}",
+                             {}},
                             /*close=*/true));
             goto done;
         }
@@ -352,12 +417,21 @@ HttpServer::serveConnection(int fd)
         if (bodyLen > kMaxBodyBytes) {
             sendAll(fd, formatResponse(
                             {413, "application/json",
-                             "{\"error\":\"body too large\"}"},
+                             "{\"error\":\"body too large\"}",
+                             {}},
                             /*close=*/true));
             goto done;
         }
         while (buf.size() < bodyLen) {
-            if (!recvSome(fd, buf))
+            const RecvResult r = recvSome(fd, buf);
+            if (r == RecvResult::TimedOut)
+                sendAll(fd, formatResponse(
+                                {408, "application/json",
+                                 "{\"error\":\"request read timed "
+                                 "out\"}",
+                                 {}},
+                                /*close=*/true));
+            if (r != RecvResult::Ok)
                 goto done;
         }
         req.body = buf.substr(0, bodyLen);
@@ -369,6 +443,7 @@ HttpServer::serveConnection(int fd)
         if (stopRequested())
             break;
 
+        active_.fetch_add(1, std::memory_order_acq_rel);
         HttpResponse resp;
         try {
             resp = handler_(req);
@@ -377,7 +452,9 @@ HttpServer::serveConnection(int fd)
             resp.body =
                 std::string("{\"error\":\"internal: ") + e.what() + "\"}";
         }
-        if (!sendAll(fd, formatResponse(resp, !keepAlive)))
+        const bool sent = sendAll(fd, formatResponse(resp, !keepAlive));
+        active_.fetch_sub(1, std::memory_order_acq_rel);
+        if (!sent)
             break;
     }
 done:
@@ -417,7 +494,7 @@ httpRequest(std::uint16_t port, const std::string& method,
     }
 
     std::string buf;
-    while (recvSome(fd, buf)) {
+    while (recvSome(fd, buf) == RecvResult::Ok) {
     }
     ::close(fd);
 

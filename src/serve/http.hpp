@@ -21,6 +21,7 @@
 #ifndef GGA_SERVE_HTTP_HPP
 #define GGA_SERVE_HTTP_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -61,6 +62,8 @@ struct HttpResponse
     int status = 200;
     std::string contentType = "application/json";
     std::string body;
+    /** Extra response headers (e.g. Retry-After), emitted verbatim. */
+    std::map<std::string, std::string> headers;
 };
 
 /** The reason phrase for @p status ("Not Found"); "Unknown" otherwise. */
@@ -88,20 +91,25 @@ class HttpServer
     /**
      * Bind @p port on the loopback interface and start accepting.
      * Port 0 picks an ephemeral port — read it back with port().
+     * @p ioTimeoutMs > 0 arms a per-connection read deadline: a client
+     * that stalls mid-request for longer (slow loris) is answered 408
+     * and disconnected instead of pinning its thread forever.
      * Throws ServeError on bind failure; calling start twice is an error.
      */
-    void start(std::uint16_t port);
+    void start(std::uint16_t port, unsigned ioTimeoutMs = 0);
 
     /** The bound port (valid after start()). */
     std::uint16_t port() const { return port_; }
 
     /**
      * Shut every connection down, join all threads, close the listener.
-     * Idempotent. Handlers blocked in long-polls must be unblocked by
-     * their own shutdown paths before stop() is called, or stop() waits
-     * for them.
+     * @p drainMs > 0 first closes the listener only and waits up to that
+     * long for in-flight handlers to write their responses (graceful
+     * drain); idle keep-alive connections don't delay it. Idempotent.
+     * Handlers blocked in long-polls must be unblocked by their own
+     * shutdown paths before stop() is called, or stop() waits for them.
      */
-    void stop();
+    void stop(unsigned drainMs = 0);
 
     /** Largest accepted request body, bytes. */
     static constexpr std::size_t kMaxBodyBytes = 64u << 20;
@@ -121,6 +129,9 @@ class HttpServer
      */
     int listenFd_ = -1;
     std::uint16_t port_ = 0; ///< same start()-only write discipline
+    unsigned ioTimeoutMs_ = 0; ///< same start()-only write discipline
+    /** Requests currently inside the handler/response write (drain). */
+    std::atomic<int> active_{0};
     std::thread acceptThread_;
     Mutex mu_;
     bool stopping_ GGA_GUARDED_BY(mu_) = false;

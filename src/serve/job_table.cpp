@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "support/log.hpp"
 
@@ -19,6 +20,17 @@ jobStateName(JobState s)
     case JobState::Canceled: return "canceled";
     }
     return "unknown";
+}
+
+std::optional<JobState>
+jobStateFromName(const std::string& name)
+{
+    for (const JobState s :
+         {JobState::Queued, JobState::Running, JobState::Done,
+          JobState::Failed, JobState::Canceled})
+        if (jobStateName(s) == name)
+            return s;
+    return std::nullopt;
 }
 
 void
@@ -90,6 +102,46 @@ JobTable::create(const std::string& tenant, Manifest manifest, bool remote,
     return id;
 }
 
+void
+JobTable::setObserver(Observer obs)
+{
+    MutexLock lock(mu_);
+    observer_ = std::move(obs);
+}
+
+void
+JobTable::restore(const JobRestore& r)
+{
+    MutexLock lock(mu_);
+    if (jobs_.count(r.id) != 0) {
+        GGA_WARN("serve: restore of ", r.id, " ignored (id exists)");
+        return;
+    }
+    Job j;
+    j.id = r.id;
+    j.tenant = r.tenant;
+    j.manifest = r.manifest;
+    j.remote = r.remote;
+    j.shards = r.shards;
+    j.state = r.state;
+    j.error = r.error;
+    j.rows = r.rows;
+    // Resume numbering past the restored id so new jobs never collide.
+    std::uint64_t seq = 0;
+    if (r.id.rfind("job-", 0) == 0) {
+        char* end = nullptr;
+        seq = std::strtoull(r.id.c_str() + 4, &end, 10);
+        if (end == nullptr || *end != '\0')
+            seq = 0;
+    }
+    if (seq == 0)
+        seq = nextId_ + 1;
+    nextId_ = std::max(nextId_, seq);
+    j.seq = seq;
+    jobs_.emplace(r.id, std::move(j));
+    cv_.notify_all();
+}
+
 std::optional<Manifest>
 JobTable::manifestOf(const std::string& id) const
 {
@@ -112,6 +164,7 @@ JobTable::unitDone(const std::string& id, const UnitEvent& ev)
         latency_[ev.appName].record(ev.millis);
     if (terminal(j.state))
         return; // late event for a canceled/failed job
+    const JobState before = j.state;
     if (j.state == JobState::Queued)
         j.state = JobState::Running;
     if (ev.result) {
@@ -122,6 +175,8 @@ JobTable::unitDone(const std::string& id, const UnitEvent& ev)
             j.error = ev.error;
     }
     maybeFinishLocalLocked(j);
+    if (j.state != before)
+        notifyLocked(j);
     bumpLocked(j);
 }
 
@@ -133,6 +188,7 @@ JobTable::markRunning(const std::string& id)
     if (it == jobs_.end() || it->second.state != JobState::Queued)
         return;
     it->second.state = JobState::Running;
+    notifyLocked(it->second);
     bumpLocked(it->second);
 }
 
@@ -145,8 +201,10 @@ JobTable::addRemoteProgress(const std::string& id,
     if (it == jobs_.end() || terminal(it->second.state))
         return;
     Job& j = it->second;
-    if (j.state == JobState::Queued)
+    if (j.state == JobState::Queued) {
         j.state = JobState::Running;
+        notifyLocked(j);
+    }
     j.rows.insert(j.rows.end(), rows.begin(), rows.end());
     bumpLocked(j);
 }
@@ -161,6 +219,7 @@ JobTable::finishRemote(const std::string& id, ResultSet merged)
     Job& j = it->second;
     j.finalResults = std::move(merged);
     j.state = JobState::Done;
+    notifyLocked(j);
     bumpLocked(j);
 }
 
@@ -175,6 +234,7 @@ JobTable::fail(const std::string& id, const std::string& why)
     j.state = JobState::Failed;
     if (j.error.empty())
         j.error = why;
+    notifyLocked(j);
     bumpLocked(j);
 }
 
@@ -186,6 +246,7 @@ JobTable::cancel(const std::string& id)
     if (it == jobs_.end() || terminal(it->second.state))
         return false;
     it->second.state = JobState::Canceled;
+    notifyLocked(it->second);
     bumpLocked(it->second);
     return true;
 }
@@ -336,6 +397,13 @@ JobTable::snapshotLocked(const Job& j) const
     s.version = j.version;
     s.error = j.error;
     return s;
+}
+
+void
+JobTable::notifyLocked(const Job& j)
+{
+    if (observer_)
+        observer_(snapshotLocked(j));
 }
 
 void

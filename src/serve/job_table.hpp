@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -57,6 +58,9 @@ enum class JobState
 };
 
 std::string jobStateName(JobState s);
+
+/** Inverse of jobStateName; nullopt for an unrecognized name. */
+std::optional<JobState> jobStateFromName(const std::string& name);
 
 /** Log2-bucketed wall-time histogram (bucket i: [2^(i-1), 2^i) ms). */
 struct LatencyHistogram
@@ -104,6 +108,35 @@ class JobTable
      */
     std::string create(const std::string& tenant, Manifest manifest,
                        bool remote, std::size_t shards);
+
+    /**
+     * Observer called (under the table lock — keep it lock-ordered and
+     * quick) after every job STATE transition, with the fresh snapshot.
+     * The journal's state-record feed. Set before traffic starts.
+     */
+    using Observer = std::function<void(const JobSnapshot&)>;
+    void setObserver(Observer obs);
+
+    /** One journal-recovered job, re-inserted verbatim by restore(). */
+    struct JobRestore
+    {
+        std::string id; ///< original id ("job-<n>"); numbering resumes past it
+        std::string tenant;
+        Manifest manifest;
+        bool remote = false;
+        std::size_t shards = 0;
+        JobState state = JobState::Queued;
+        std::string error;
+        std::vector<UnitResult> rows; ///< already-completed units
+    };
+
+    /**
+     * Re-insert a recovered job under its original id, bypassing the
+     * admission bound and the observer (its history is already in the
+     * journal). The id counter resumes past the restored id so new jobs
+     * never collide. Quietly ignores an id that already exists.
+     */
+    void restore(const JobRestore& r);
 
     /** The job's manifest (throws ServeError-free: nullopt if unknown). */
     std::optional<Manifest> manifestOf(const std::string& id) const;
@@ -196,6 +229,7 @@ class JobTable
     }
 
     JobSnapshot snapshotLocked(const Job& j) const GGA_REQUIRES(mu_);
+    void notifyLocked(const Job& j) GGA_REQUIRES(mu_);
     void bumpLocked(Job& j) GGA_REQUIRES(mu_);
     std::size_t liveCountLocked(const std::string& tenant) const
         GGA_REQUIRES(mu_);
@@ -207,6 +241,7 @@ class JobTable
     bool shutdown_ GGA_GUARDED_BY(mu_) = false;
     std::uint64_t nextId_ GGA_GUARDED_BY(mu_) = 0;
     std::map<std::string, Job> jobs_ GGA_GUARDED_BY(mu_);
+    Observer observer_ GGA_GUARDED_BY(mu_);
     /** Unit wall-time histograms by app name. */
     std::map<std::string, LatencyHistogram> latency_ GGA_GUARDED_BY(mu_);
 };

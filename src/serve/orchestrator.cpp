@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "serve/faults.hpp"
+#include "serve/journal.hpp"
 #include "support/log.hpp"
+#include "support/rng.hpp"
 
 namespace gga {
 
@@ -106,35 +109,102 @@ Orchestrator::poll(const std::string& worker)
 Orchestrator::PartOutcome
 Orchestrator::partArrived(const std::string& worker,
                           const std::string& jobId, std::size_t shard,
-                          ResultSet part, std::string* error)
+                          ResultSet part, std::string* error,
+                          std::optional<std::uint64_t> checksum)
 {
+    // Canonical compact JSON of the part, computed outside the lock: the
+    // checksum input and (verbatim) what the journal persists. The key
+    // coverage check alone would accept a part whose metric VALUES were
+    // corrupted in transit; the checksum closes that hole.
+    std::string canon;
+    std::string preVerifyError;
+    if (checksum || journal_ != nullptr)
+        canon = part.toJson().dump();
+    if (checksum &&
+        fnv1a(canon.data(), canon.size()) != *checksum)
+        preVerifyError = "part checksum mismatch (corrupted in transit)";
+
     std::optional<Finalize> fin;
     PartOutcome outcome;
     {
         MutexLock lock(mu_);
         outcome = partArrivedLocked(worker, jobId, shard, std::move(part),
-                                    error, fin);
+                                    preVerifyError, error, fin);
     }
-    if (!fin)
-        return outcome;
-    // Last part: strict merge + full-manifest verification — the same
-    // checks gga_merge applies, so a lost or doubled shard can never
-    // produce a quietly wrong table. Runs outside mu_ so polls and
-    // other parts keep flowing during the merge.
+    // Journal before finalize: if the process dies during the merge the
+    // part is already durable and the restart redoes only the merge.
+    if (outcome == PartOutcome::Accepted && journal_ != nullptr)
+        journal_->part(jobId, shard, canon);
+    if (fin)
+        finalizeJob(jobId, std::move(*fin));
+    return outcome;
+}
+
+void
+Orchestrator::finalizeJob(const std::string& jobId, Finalize fin)
+{
+    // Strict merge + full-manifest verification — the same checks
+    // gga_merge applies, so a lost or doubled shard can never produce a
+    // quietly wrong table. Runs outside mu_ so polls and other parts
+    // keep flowing during the merge.
     try {
-        ResultSet merged = ResultSet::merge(fin->parts);
-        merged.verifyComplete(fin->manifest);
+        ResultSet merged = ResultSet::merge(fin.parts);
+        merged.verifyComplete(fin.manifest);
         jobs_.finishRemote(jobId, std::move(merged));
     } catch (const EvalError& err) {
         jobs_.fail(jobId, std::string("merge failed: ") + err.what());
     }
-    return outcome;
+}
+
+void
+Orchestrator::restoreJob(const std::string& jobId, std::size_t shardCount,
+                         const std::map<std::size_t, ResultSet>& parts)
+{
+    GGA_ASSERT(shardCount >= 1, "remote job needs at least one shard");
+    const std::optional<Manifest> manifest = jobs_.manifestOf(jobId);
+    if (!manifest)
+        return;
+    std::optional<Finalize> fin;
+    std::size_t restored = 0;
+    {
+        MutexLock lock(mu_);
+        RemoteJob rj;
+        rj.seq = ++nextJobSeq_;
+        rj.manifest = *manifest;
+        rj.shards.resize(shardCount);
+        for (const auto& [shard, part] : parts) {
+            if (shard >= shardCount)
+                continue;
+            Shard& sh = rj.shards[shard];
+            sh.state = ShardState::Done;
+            sh.part = part;
+            ++restored;
+        }
+        recoveredParts_ += restored;
+        if (restored == shardCount) {
+            // The crash hit between the last part and the job's done
+            // record: nothing left to execute, just merge and finish.
+            Finalize f;
+            f.parts.reserve(shardCount);
+            for (Shard& s : rj.shards)
+                f.parts.push_back(std::move(*s.part));
+            f.manifest = rj.manifest;
+            fin = std::move(f);
+        } else {
+            remote_.emplace(jobId, std::move(rj));
+        }
+    }
+    GGA_WARN("serve: restored ", jobId, " with ", restored, "/",
+             shardCount, " shard(s) already done");
+    if (fin)
+        finalizeJob(jobId, std::move(*fin));
 }
 
 Orchestrator::PartOutcome
 Orchestrator::partArrivedLocked(const std::string& worker,
                                 const std::string& jobId,
                                 std::size_t shard, ResultSet part,
+                                const std::string& preVerifyError,
                                 std::string* error,
                                 std::optional<Finalize>& fin)
 {
@@ -156,17 +226,25 @@ Orchestrator::partArrivedLocked(const std::string& worker,
 
     // Verify against the shard's sub-manifest: a worker must return
     // exactly the units it was assigned, nothing thinner, nothing else.
-    try {
-        part.verifyComplete(rj.manifest.shard(shard, rj.shards.size()));
-    } catch (const EvalError& err) {
+    // A checksum mismatch found by the caller fails the shard the same
+    // way — the payload can't be trusted at all.
+    std::string why = preVerifyError;
+    if (why.empty()) {
+        try {
+            part.verifyComplete(
+                rj.manifest.shard(shard, rj.shards.size()));
+        } catch (const EvalError& err) {
+            why = err.what();
+        }
+    }
+    if (!why.empty()) {
         ++rejectedParts_;
         ++sh.attempts;
         if (error)
-            *error = err.what();
+            *error = why;
         if (sh.attempts >= policy_.maxAttempts) {
-            failJobLocked(jobId,
-                          "shard " + std::to_string(shard) +
-                              " exhausted retries: " + err.what());
+            failJobLocked(jobId, "shard " + std::to_string(shard) +
+                                     " exhausted retries: " + why);
             return PartOutcome::Rejected;
         }
         sh.state = ShardState::Waiting;
@@ -175,8 +253,8 @@ Orchestrator::partArrivedLocked(const std::string& worker,
                                           policy_.backoffMs(sh.attempts));
         ++retries_;
         GGA_WARN("serve: part for shard ", shard + 1, "/",
-                 rj.shards.size(), " of ", jobId, " rejected (",
-                 err.what(), "); retrying");
+                 rj.shards.size(), " of ", jobId, " rejected (", why,
+                 "); retrying");
         return PartOutcome::Rejected;
     }
 
@@ -213,7 +291,12 @@ Orchestrator::tick()
         for (auto& [jobId, rj] : remote_) {
             for (std::size_t s = 0; s < rj.shards.size(); ++s) {
                 Shard& sh = rj.shards[s];
-                if (sh.state != ShardState::Assigned || sh.deadline > now)
+                if (sh.state != ShardState::Assigned)
+                    continue;
+                // Fault injection: force this lease to expire now, as if
+                // the worker had gone silent past the deadline.
+                const bool forced = faults::fire("lease.expire");
+                if (sh.deadline > now && !forced)
                     continue;
                 ++expiredLeases_;
                 ++sh.attempts;
@@ -278,6 +361,7 @@ Orchestrator::statsJson() const
     j.set("expired_leases_total", Json(expiredLeases_));
     j.set("rejected_parts_total", Json(rejectedParts_));
     j.set("duplicate_parts_total", Json(duplicateParts_));
+    j.set("recovered_parts_total", Json(recoveredParts_));
     return j;
 }
 

@@ -40,6 +40,8 @@
 
 namespace gga {
 
+class Journal;
+
 /** Lease/retry policy for remote shard execution. */
 struct RetryPolicy
 {
@@ -66,8 +68,10 @@ class Orchestrator
   public:
     using Clock = std::chrono::steady_clock;
 
-    Orchestrator(JobTable& jobs, RetryPolicy policy)
-        : jobs_(jobs), policy_(policy)
+    /** @p journal, when non-null, receives every verified part. */
+    Orchestrator(JobTable& jobs, RetryPolicy policy,
+                 Journal* journal = nullptr)
+        : jobs_(jobs), policy_(policy), journal_(journal)
     {
     }
 
@@ -106,10 +110,26 @@ class Orchestrator
      * shard's sub-manifest; on the final part, merges and completes the
      * job through the JobTable (or fails it if the strict merge
      * rejects). @p error receives the verification failure on Rejected.
+     * @p checksum, when present, is the worker's FNV-1a over the part's
+     * compact JSON; a mismatch (bit rot in transit) is Rejected before
+     * the manifest check. Accepted parts are journaled when a Journal
+     * was wired at construction.
      */
     PartOutcome partArrived(const std::string& worker,
                             const std::string& jobId, std::size_t shard,
-                            ResultSet part, std::string* error = nullptr);
+                            ResultSet part, std::string* error = nullptr,
+                            std::optional<std::uint64_t> checksum =
+                                std::nullopt);
+
+    /**
+     * Re-admit a journal-recovered remote job: shards with a recovered
+     * part are Done (counted in recovered_parts_total, never
+     * re-executed); the rest are leased out as usual. When every shard
+     * was already done — the crash hit between the last part and the
+     * job's done record — the job is merged and finished immediately.
+     */
+    void restoreJob(const std::string& jobId, std::size_t shardCount,
+                    const std::map<std::size_t, ResultSet>& parts);
 
     /**
      * Expire overdue leases: a shard assigned longer ago than the lease
@@ -172,16 +192,25 @@ class Orchestrator
         Manifest manifest;
     };
 
-    /** The locked body of partArrived; fills @p fin on the final part. */
+    /**
+     * The locked body of partArrived; fills @p fin on the final part.
+     * @p preVerifyError, when non-empty, fails verification outright
+     * (the caller's checksum check, done outside the lock).
+     */
     PartOutcome partArrivedLocked(const std::string& worker,
                                   const std::string& jobId,
                                   std::size_t shard, ResultSet part,
+                                  const std::string& preVerifyError,
                                   std::string* error,
                                   std::optional<Finalize>& fin)
         GGA_REQUIRES(mu_);
 
+    /** Merge @p fin and complete/fail the job. Call without mu_. */
+    void finalizeJob(const std::string& jobId, Finalize fin);
+
     JobTable& jobs_;
     const RetryPolicy policy_;
+    Journal* const journal_; ///< may be null; internally synchronized
     mutable Mutex mu_;
     std::uint64_t nextWorker_ GGA_GUARDED_BY(mu_) = 0;
     std::uint64_t nextJobSeq_ GGA_GUARDED_BY(mu_) = 0;
@@ -194,6 +223,8 @@ class Orchestrator
     std::uint64_t rejectedParts_ GGA_GUARDED_BY(mu_) = 0;
     std::uint64_t duplicateParts_ GGA_GUARDED_BY(mu_) = 0;
     std::uint64_t completedShards_ GGA_GUARDED_BY(mu_) = 0;
+    /** Shards restored Done from the journal (not re-executed here). */
+    std::uint64_t recoveredParts_ GGA_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace gga

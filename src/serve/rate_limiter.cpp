@@ -1,0 +1,52 @@
+#include "serve/rate_limiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gga {
+
+TenantRateLimiter::TenantRateLimiter(double ratePerSec)
+    : rate_(ratePerSec), capacity_(std::max(1.0, std::ceil(ratePerSec)))
+{
+}
+
+std::optional<unsigned>
+TenantRateLimiter::acquire(const std::string& tenant, Clock::time_point now)
+{
+    if (!enabled())
+        return std::nullopt;
+    MutexLock lock(mu_);
+    auto [it, inserted] = buckets_.try_emplace(tenant);
+    Bucket& b = it->second;
+    if (inserted) {
+        b.tokens = capacity_; // a new tenant starts with a full burst
+        b.refilled = now;
+    } else {
+        const double elapsed =
+            std::chrono::duration<double>(now - b.refilled).count();
+        if (elapsed > 0) {
+            b.tokens = std::min(capacity_, b.tokens + elapsed * rate_);
+            b.refilled = now;
+        }
+    }
+    if (b.tokens >= 1.0) {
+        b.tokens -= 1.0;
+        return std::nullopt;
+    }
+    ++throttled_;
+    const double wait = (1.0 - b.tokens) / rate_;
+    return static_cast<unsigned>(
+        std::max(1.0, std::ceil(std::min(wait, 3600.0))));
+}
+
+Json
+TenantRateLimiter::statsJson() const
+{
+    MutexLock lock(mu_);
+    Json j = Json::object();
+    j.set("rate_per_tenant", Json(rate_));
+    j.set("throttled_total", Json(throttled_));
+    return j;
+}
+
+} // namespace gga

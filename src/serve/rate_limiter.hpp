@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TenantRateLimiter: a token bucket per tenant for POST /v1/jobs.
+ *
+ * Distinct from the JobTable's admission bound: that caps how much work
+ * a tenant may HOLD (queued + running), this caps how fast a tenant may
+ * SUBMIT. A burst of up to the bucket capacity passes immediately; past
+ * it, acquire() rejects with the whole seconds to wait until a token
+ * accrues — the wire layer turns that into 429 + Retry-After, which the
+ * admission-bound 429 deliberately lacks.
+ *
+ * Buckets refill continuously at ratePerSec and are created on first
+ * sight of a tenant, full (a new tenant's first burst is never
+ * throttled). A rate of 0 disables the limiter entirely.
+ */
+
+#ifndef GGA_SERVE_RATE_LIMITER_HPP
+#define GGA_SERVE_RATE_LIMITER_HPP
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace gga {
+
+class TenantRateLimiter
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @p ratePerSec tokens accrue per second per tenant; capacity (burst)
+     * is ceil(ratePerSec), at least 1. 0 disables.
+     */
+    explicit TenantRateLimiter(double ratePerSec);
+
+    bool enabled() const { return rate_ > 0; }
+
+    /**
+     * Take one token from @p tenant's bucket. nullopt on success;
+     * otherwise the whole seconds (>= 1) until the next token, for the
+     * Retry-After header. @p now is injectable for tests.
+     */
+    std::optional<unsigned> acquire(const std::string& tenant,
+                                    Clock::time_point now = Clock::now());
+
+    /** {"rate_per_tenant": ..., "throttled_total": N} for /stats. */
+    Json statsJson() const;
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0;
+        Clock::time_point refilled{};
+    };
+
+    const double rate_;     ///< tokens per second; <= 0 disables
+    const double capacity_; ///< burst size
+    mutable Mutex mu_;
+    std::map<std::string, Bucket> buckets_ GGA_GUARDED_BY(mu_);
+    std::uint64_t throttled_ GGA_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace gga
+
+#endif // GGA_SERVE_RATE_LIMITER_HPP

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "harness/figures.hpp"
+#include "serve/faults.hpp"
+#include "serve/journal.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
 
@@ -17,7 +19,8 @@ namespace {
 HttpResponse
 jsonResponse(int status, Json body)
 {
-    return HttpResponse{status, "application/json", body.dump() + "\n"};
+    return HttpResponse{status, "application/json", body.dump() + "\n",
+                        {}};
 }
 
 HttpResponse
@@ -65,11 +68,57 @@ pathSegments(const std::string& path)
 
 Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)),
+      journal_(opts_.stateDir.empty()
+                   ? nullptr
+                   : std::make_unique<Journal>(opts_.stateDir)),
+      limiter_(opts_.ratePerTenant),
       jobs_(opts_.maxQueuedPerTenant),
-      orch_(jobs_, opts_.retry),
+      orch_(jobs_, opts_.retry, journal_.get()),
       session_(opts_.session),
       http_([this](const HttpRequest& req) { return handle(req); })
 {
+    if (!journal_)
+        return;
+    // Every state transition lands in the journal; terminal states also
+    // compact the job away. Called under the JobTable lock — the lock
+    // order is JobTable -> Journal, and the Journal never calls out.
+    jobs_.setObserver([this](const JobSnapshot& s) {
+        journal_->state(s.id, s.state, s.error);
+        if (s.state == JobState::Done || s.state == JobState::Failed ||
+            s.state == JobState::Canceled)
+            journal_->finish(s.id);
+    });
+    // Replay: resume unfinished work. Remote jobs keep their recovered
+    // shards (never re-executed); local jobs are deterministic, so they
+    // simply re-run from scratch and land on the same bytes.
+    for (const Journal::RecoveredJob& rj : journal_->recovered()) {
+        JobTable::JobRestore r;
+        r.id = rj.id;
+        r.tenant = rj.tenant;
+        r.manifest = rj.manifest;
+        r.remote = rj.remote;
+        r.shards = rj.shards;
+        r.state = rj.state;
+        r.error = rj.error;
+        if (rj.remote) {
+            for (const auto& [shard, part] : rj.parts) {
+                (void)shard;
+                for (const UnitResult& row : part.results())
+                    r.rows.push_back(row);
+            }
+        } else {
+            r.state = JobState::Queued; // re-executed below
+        }
+        jobs_.restore(r);
+        ++recoveredJobs_;
+        if (rj.remote)
+            orch_.restoreJob(rj.id, rj.shards, rj.parts);
+        else
+            startLocalJob(rj.id, rj.manifest);
+    }
+    if (recoveredJobs_ > 0)
+        GGA_INFORM("serve: recovered ", recoveredJobs_,
+                   " unfinished job(s) from ", opts_.stateDir);
 }
 
 Service::~Service()
@@ -80,7 +129,7 @@ Service::~Service()
 void
 Service::start()
 {
-    http_.start(opts_.port);
+    http_.start(opts_.port, opts_.ioTimeoutMs);
     ticker_ = std::thread([this] {
         while (!stopping_.load(std::memory_order_acquire)) {
             std::this_thread::sleep_for(
@@ -97,9 +146,11 @@ Service::stop()
     if (stopping_.exchange(true))
         return;
     jobs_.shutdown(); // wake long-polls so connections can drain
-    http_.stop();
+    http_.stop(opts_.drainMs);
     if (ticker_.joinable())
         ticker_.join();
+    if (journal_)
+        journal_->sync();
 }
 
 HttpResponse
@@ -159,6 +210,13 @@ Service::handle(const HttpRequest& req)
         if (seg.size() == 3 && seg[0] == "v1" && seg[1] == "workers") {
             if (req.method != "POST")
                 return errorResponse(405, "POST only");
+            if (!opts_.workerToken.empty()) {
+                const auto it = req.headers.find("x-gga-worker-token");
+                if (it == req.headers.end() ||
+                    it->second != opts_.workerToken)
+                    return errorResponse(
+                        401, "missing or invalid worker token");
+            }
             return workerEndpoint(req, seg[2]);
         }
         return errorResponse(404, "unknown endpoint");
@@ -181,6 +239,17 @@ Service::submitJob(const HttpRequest& req)
     if (tenant.empty()) {
         const auto it = req.headers.find("x-gga-tenant");
         tenant = it == req.headers.end() ? "default" : it->second;
+    }
+
+    // Rate limit before any parsing work: a tenant over its sustained
+    // submit rate gets 429 + Retry-After (the admission-bound 429 below
+    // carries no Retry-After — that one clears when a job finishes, not
+    // on a clock).
+    if (const std::optional<unsigned> retryAfter = limiter_.acquire(tenant)) {
+        HttpResponse r = errorResponse(
+            429, "tenant \"" + tenant + "\" is over its submit rate");
+        r.headers["Retry-After"] = std::to_string(*retryAfter);
+        return r;
     }
 
     const Json* plan = body.find("plan");
@@ -219,6 +288,9 @@ Service::submitJob(const HttpRequest& req)
 
     const std::string id =
         jobs_.create(tenant, manifest, execution == "remote", shards);
+    if (journal_)
+        journal_->admit(id, tenant, execution == "remote", shards,
+                        manifest);
     if (execution == "remote") {
         orch_.enqueueJob(id, shards);
     } else {
@@ -298,7 +370,7 @@ Service::jobRender(const HttpRequest& req, const std::string& id)
     const FigureSet set = figureSetFromManifest(*manifest);
     const bool csv = req.queryOr("csv", "0") == "1";
     return HttpResponse{200, "text/plain",
-                        renderFigure(set, *results, csv)};
+                        renderFigure(set, *results, csv), {}};
 }
 
 HttpResponse
@@ -325,7 +397,7 @@ Service::workerEndpoint(const HttpRequest& req, const std::string& action)
     if (action == "poll") {
         const std::optional<Assignment> a = orch_.poll(worker);
         if (!a)
-            return HttpResponse{204, "application/json", ""};
+            return HttpResponse{204, "application/json", "", {}};
         Json j = Json::object();
         j.set("job", Json(a->job));
         j.set("shard", Json(static_cast<std::uint64_t>(a->shard)));
@@ -342,11 +414,14 @@ Service::workerEndpoint(const HttpRequest& req, const std::string& action)
             return errorResponse(
                 400, "body needs \"job\", \"shard\", \"results\"");
         ResultSet part = ResultSet::fromJson(*resultsJson);
+        std::optional<std::uint64_t> checksum;
+        if (const Json* c = body.find("checksum"))
+            checksum = c->asU64();
         std::string why;
         const Orchestrator::PartOutcome outcome = orch_.partArrived(
             worker, jobJson->asString(),
             static_cast<std::size_t>(shardJson->asU64()), std::move(part),
-            &why);
+            &why, checksum);
         switch (outcome) {
         case Orchestrator::PartOutcome::Accepted: {
             Json j = Json::object();
@@ -393,6 +468,14 @@ Service::statsResponse()
     j.set("graph_store", std::move(store));
     j.set("executor", std::move(exec));
     j.set("orchestrator", orch_.statsJson());
+    if (journal_) {
+        Json jj = journal_->statsJson();
+        jj.set("recovered_jobs_total", Json(recoveredJobs_));
+        j.set("journal", std::move(jj));
+    }
+    if (limiter_.enabled())
+        j.set("rate_limiter", limiter_.statsJson());
+    j.set("faults", faults::statsJson());
     return jsonResponse(200, std::move(j));
 }
 

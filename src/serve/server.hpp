@@ -43,8 +43,11 @@
 #include "serve/http.hpp"
 #include "serve/job_table.hpp"
 #include "serve/orchestrator.hpp"
+#include "serve/rate_limiter.hpp"
 
 namespace gga {
+
+class Journal;
 
 struct ServiceOptions
 {
@@ -53,6 +56,29 @@ struct ServiceOptions
     RetryPolicy retry;               ///< remote lease/backoff policy
     unsigned tickMs = 200;           ///< lease-expiry scan period
     SessionOptions session;          ///< executor for local jobs
+    /**
+     * Durable state directory. "" runs in-memory (the pre-journal
+     * behavior); otherwise every admission, state change, and verified
+     * remote part is journaled there, and construction replays the
+     * journal: unfinished jobs come back, completed shards are never
+     * re-executed, and the final render is byte-identical.
+     */
+    std::string stateDir;
+    /**
+     * Shared secret for the worker endpoints. "" leaves them open;
+     * otherwise register/poll/parts require the X-GGA-Worker-Token
+     * header to match, else 401.
+     */
+    std::string workerToken;
+    /**
+     * Sustained POST /v1/jobs rate per tenant (tokens/sec, burst of
+     * ceil(rate)). 0 disables. Over-rate submits get 429 with a
+     * Retry-After header — distinct from the admission-bound 429,
+     * which carries none.
+     */
+    double ratePerTenant = 0;
+    unsigned ioTimeoutMs = 30000; ///< socket read deadline; 0 = none
+    unsigned drainMs = 1000; ///< stop() waits this long for in-flight requests
 };
 
 class Service
@@ -97,12 +123,17 @@ class Service
     ServiceOptions opts_;
     // Destruction order matters (members destroy bottom-up): http_ stops
     // first so no new requests arrive, the ticker joins, then session_
-    // drains its executor — whose callbacks touch jobs_ — and jobs_ goes
-    // last.
+    // drains its executor — whose callbacks touch jobs_ — then jobs_
+    // (whose observer writes to journal_), and journal_ goes last.
     // No mutex of its own, so nothing here is GUARDED_BY: every member
-    // below is internally synchronized (JobTable/Orchestrator/HttpServer
-    // carry annotated gga::Mutexes; Session is lock-free by design), and
-    // the tick thread's only shared state is the stopping_ flag.
+    // below is internally synchronized (JobTable/Orchestrator/HttpServer/
+    // Journal/TenantRateLimiter carry annotated gga::Mutexes; Session is
+    // lock-free by design), and the tick thread's only shared state is
+    // the stopping_ flag. recoveredJobs_ is written once in the ctor,
+    // before any thread exists.
+    std::unique_ptr<Journal> journal_; ///< null when stateDir is ""
+    std::uint64_t recoveredJobs_ = 0;
+    TenantRateLimiter limiter_;
     JobTable jobs_;
     Orchestrator orch_;
     Session session_;

@@ -6,9 +6,11 @@
 #include <thread>
 
 #include "eval/run.hpp"
+#include "serve/faults.hpp"
 #include "serve/http.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
+#include "support/rng.hpp"
 
 namespace gga {
 
@@ -17,10 +19,14 @@ runWorkerClient(Session& session, const WorkerClientOptions& opts)
 {
     GGA_ASSERT(opts.port != 0, "worker client needs a service port");
 
+    std::map<std::string, std::string> auth;
+    if (!opts.token.empty())
+        auth["X-GGA-Worker-Token"] = opts.token;
+
     Json reg = Json::object();
     reg.set("name", Json(opts.name));
-    const HttpResponse regResp =
-        httpRequest(opts.port, "POST", "/v1/workers/register", reg.dump());
+    const HttpResponse regResp = httpRequest(
+        opts.port, "POST", "/v1/workers/register", reg.dump(), auth);
     if (regResp.status != 200)
         throw ServeError("worker registration failed (HTTP " +
                          std::to_string(regResp.status) + ")");
@@ -38,7 +44,8 @@ runWorkerClient(Session& session, const WorkerClientOptions& opts)
     while (true) {
         HttpResponse resp;
         try {
-            resp = httpRequest(opts.port, "POST", "/v1/workers/poll", poll);
+            resp = httpRequest(opts.port, "POST", "/v1/workers/poll",
+                               poll, auth);
         } catch (const ServeError&) {
             GGA_INFORM("worker ", worker, ": server gone, exiting");
             return posted;
@@ -75,16 +82,36 @@ runWorkerClient(Session& session, const WorkerClientOptions& opts)
         GGA_INFORM("worker ", worker, ": running shard ", shard + 1, "/",
                    a.at("shard_count").asU64(), " of ", job, " (",
                    manifest.size(), " units)");
-        const ResultSet results = runManifest(session, manifest);
+        ResultSet results = runManifest(session, manifest);
 
-        Json part = Json::object();
-        part.set("worker", Json(worker));
-        part.set("job", Json(job));
-        part.set("shard", Json(shard));
-        part.set("results", results.toJson());
+        // Fault injection: drop the last row BEFORE the checksum is
+        // taken — the checksum matches the thinned payload, so the
+        // server's sub-manifest verification is what catches it.
+        if (faults::fire("worker.part.thin") && !results.results().empty()) {
+            Json arr = Json::array();
+            const std::vector<UnitResult>& rows = results.results();
+            for (std::size_t i = 0; i + 1 < rows.size(); ++i)
+                arr.push(rows[i].toJson());
+            Json thin = Json::object();
+            thin.set("results", std::move(arr));
+            results = ResultSet::fromJson(thin);
+        }
+
+        std::string canon = results.toJson().dump();
+        const std::uint64_t checksum = fnv1a(canon.data(), canon.size());
+        // Fault injection: corrupt the payload AFTER the checksum, the
+        // bit-rot-in-transit case the server's checksum check catches.
+        faults::corrupt("worker.part.corrupt", canon);
+
+        std::string body = "{\"worker\":\"" + worker + "\",\"job\":\"" +
+                           job + "\",\"shard\":" + std::to_string(shard) +
+                           ",\"checksum\":" + std::to_string(checksum) +
+                           ",\"results\":" + canon + "}";
+        // Fault injection: tear the request mid-body (connection lost).
+        faults::truncate("worker.part.truncate", body);
         try {
             const HttpResponse pr = httpRequest(
-                opts.port, "POST", "/v1/workers/parts", part.dump());
+                opts.port, "POST", "/v1/workers/parts", body, auth);
             if (pr.status == 200)
                 ++posted;
             else

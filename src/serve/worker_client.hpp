@@ -37,6 +37,9 @@ struct WorkerClientOptions
     /** Fault injection: _exit(kCrashExitCode) on receiving the Nth
      *  assignment (1-based); 0 disables. */
     unsigned exitAfterAssignments = 0;
+    /** Sent as X-GGA-Worker-Token on every request when non-empty; must
+     *  match the server's --worker-token or everything answers 401. */
+    std::string token;
 };
 
 /** The exit code of the exitAfterAssignments crash hook. */

@@ -8,6 +8,11 @@
  * byte-identity of a remotely merged job to an in-process runManifest.
  */
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <string>
 #include <thread>
@@ -17,9 +22,12 @@
 
 #include "eval/run.hpp"
 #include "harness/workloads.hpp"
+#include "serve/faults.hpp"
 #include "serve/http.hpp"
 #include "serve/server.hpp"
+#include "serve/worker_client.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 
 namespace gga {
 namespace {
@@ -499,6 +507,238 @@ TEST(ServeRemote, ExpiredLeasesReassignThenFailTheJob)
     const Json stats = parseBody(svc.handle(request("GET", "/stats")));
     EXPECT_EQ(stats.at("orchestrator").at("expired_leases_total").asU64(),
               2u);
+}
+
+TEST(ServeRemote, ChecksumMismatchRejectsPartBeforeManifestCheck)
+{
+    Service svc(quickOptions());
+    const Manifest manifest = tinyManifest();
+    const HttpResponse sub = svc.handle(request(
+        "POST", "/v1/jobs", {},
+        "{\"manifest\": " + manifest.toJson().dump() +
+            ", \"execution\": \"remote\", \"shards\": 1}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    const std::string id = parseBody(sub).at("id").asString();
+
+    const std::string worker = registerWorker(svc, "bitrot");
+    std::optional<Json> a = pollWorker(svc, worker);
+    ASSERT_TRUE(a.has_value());
+    Session session;
+    const Manifest shard = Manifest::fromJson(a->at("manifest"));
+    const ResultSet results = runManifest(session, shard);
+    const std::string canon = results.toJson().dump();
+    const std::uint64_t good = fnv1a(canon.data(), canon.size());
+
+    const auto post = [&](std::uint64_t sum) {
+        Json part = Json::object();
+        part.set("worker", Json(worker));
+        part.set("job", a->at("job"));
+        part.set("shard", a->at("shard"));
+        part.set("checksum", Json(sum));
+        part.set("results", results.toJson());
+        return svc.handle(
+            request("POST", "/v1/workers/parts", {}, part.dump()));
+    };
+
+    // The payload is complete — only the checksum disagrees. Without the
+    // checksum this would sail through verifyComplete with corrupted
+    // metric values.
+    const HttpResponse rejected = post(good + 1);
+    EXPECT_EQ(rejected.status, 400);
+    EXPECT_NE(parseBody(rejected).at("error").asString().find("checksum"),
+              std::string::npos);
+
+    // After backoff the shard is reassigned; a matching checksum passes.
+    std::optional<Json> retry;
+    for (int i = 0; i < 100 && !retry; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        retry = pollWorker(svc, worker);
+    }
+    ASSERT_TRUE(retry.has_value());
+    EXPECT_EQ(post(good).status, 200);
+    EXPECT_EQ(awaitTerminal(svc, id), "done");
+
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    EXPECT_EQ(stats.at("orchestrator").at("rejected_parts_total").asU64(),
+              1u);
+}
+
+// --- worker auth ---------------------------------------------------------
+
+TEST(ServeAuth, WorkerEndpointsRequireTheTokenWhenConfigured)
+{
+    ServiceOptions o = quickOptions();
+    o.workerToken = "s3cret";
+    Service svc(o);
+
+    const std::string body = "{\"name\": \"w\"}";
+    // Missing and wrong tokens are 401 before any orchestrator state is
+    // touched; the matching token works.
+    EXPECT_EQ(
+        svc.handle(request("POST", "/v1/workers/register", {}, body))
+            .status,
+        401);
+    EXPECT_EQ(svc.handle(request("POST", "/v1/workers/register", {}, body,
+                                 {{"x-gga-worker-token", "wrong"}}))
+                  .status,
+              401);
+    const HttpResponse ok =
+        svc.handle(request("POST", "/v1/workers/register", {}, body,
+                           {{"x-gga-worker-token", "s3cret"}}));
+    ASSERT_EQ(ok.status, 200) << ok.body;
+    const std::string worker = parseBody(ok).at("worker").asString();
+
+    EXPECT_EQ(svc.handle(request("POST", "/v1/workers/poll", {},
+                                 "{\"worker\": \"" + worker + "\"}"))
+                  .status,
+              401);
+    EXPECT_EQ(svc.handle(request("POST", "/v1/workers/parts", {},
+                                 "{\"worker\": \"" + worker + "\"}"))
+                  .status,
+              401);
+    EXPECT_EQ(svc.handle(request("POST", "/v1/workers/poll", {},
+                                 "{\"worker\": \"" + worker + "\"}",
+                                 {{"x-gga-worker-token", "s3cret"}}))
+                  .status,
+              204);
+    // Client endpoints are unaffected by the worker token.
+    EXPECT_EQ(svc.handle(request("GET", "/v1/jobs")).status, 200);
+}
+
+// --- per-tenant rate limiting --------------------------------------------
+
+TEST(ServeRateLimit, OverRateSubmitGets429WithRetryAfter)
+{
+    ServiceOptions o = quickOptions();
+    o.ratePerTenant = 1; // burst of 1, then ~1/s
+    Service svc(o);
+    const std::string body =
+        "{\"manifest\": " + tinyManifest().toJson().dump() + "}";
+
+    const HttpResponse first = svc.handle(request(
+        "POST", "/v1/jobs", {}, body, {{"x-gga-tenant", "alice"}}));
+    ASSERT_EQ(first.status, 202) << first.body;
+
+    // Same tenant, same second: throttled, with a machine-readable
+    // retry hint. Another tenant has its own bucket.
+    const HttpResponse throttled = svc.handle(request(
+        "POST", "/v1/jobs", {}, body, {{"x-gga-tenant", "alice"}}));
+    EXPECT_EQ(throttled.status, 429);
+    ASSERT_EQ(throttled.headers.count("Retry-After"), 1u);
+    EXPECT_GE(std::stoul(throttled.headers.at("Retry-After")), 1u);
+    EXPECT_EQ(svc.handle(request("POST", "/v1/jobs", {}, body,
+                                 {{"x-gga-tenant", "bob"}}))
+                  .status,
+              202);
+
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    EXPECT_EQ(stats.at("rate_limiter").at("throttled_total").asU64(), 1u);
+}
+
+TEST(ServeRateLimit, AdmissionBound429CarriesNoRetryAfter)
+{
+    ServiceOptions o = quickOptions();
+    o.maxQueuedPerTenant = 1; // admission-bound, rate limiter off
+    Service svc(o);
+    const std::string body = "{\"manifest\": " +
+                             tinyManifest().toJson().dump() +
+                             ", \"execution\": \"remote\", \"shards\": 2}";
+    ASSERT_EQ(svc.handle(request("POST", "/v1/jobs", {}, body)).status,
+              202);
+    const HttpResponse full =
+        svc.handle(request("POST", "/v1/jobs", {}, body));
+    EXPECT_EQ(full.status, 429);
+    // Quota 429 clears when a job finishes, not on a clock — no header.
+    EXPECT_EQ(full.headers.count("Retry-After"), 0u);
+}
+
+// --- slow-loris defense --------------------------------------------------
+
+TEST(ServeHttp, StalledRequestTimesOutWith408)
+{
+    ServiceOptions o = quickOptions();
+    o.ioTimeoutMs = 50;
+    Service svc(o);
+    svc.start();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(svc.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+    // Send half a request line and stall — the classic slow loris.
+    const char torso[] = "POST /v1/jobs HTT";
+    ASSERT_GT(::send(fd, torso, sizeof torso - 1, 0), 0);
+
+    std::string buf(4096, '\0');
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    ASSERT_GT(n, 0) << "connection closed without a response";
+    buf.resize(static_cast<std::size_t>(n));
+    EXPECT_NE(buf.find("408"), std::string::npos) << buf;
+    ::close(fd);
+
+    // The stalled connection pinned nothing: normal requests still work.
+    EXPECT_EQ(httpRequest(svc.port(), "GET", "/healthz").status, 200);
+    svc.stop();
+}
+
+// --- end-to-end fault injection ------------------------------------------
+
+TEST(ServeFaultInjection, ThinPartIsRejectedThenRetriedToDone)
+{
+    faults::configure("");
+    ServiceOptions o = quickOptions();
+    o.retry.leaseMs = 10000; // no expiry races: the retry must come from
+                             // the rejected part, not a lost lease
+    o.workerToken = "tok";   // exercises gga_worker --token end to end
+    Service svc(o);
+    svc.start();
+
+    const Manifest manifest = tinyManifest();
+    const HttpResponse sub = svc.handle(request(
+        "POST", "/v1/jobs", {},
+        "{\"manifest\": " + manifest.toJson().dump() +
+            ", \"execution\": \"remote\", \"shards\": 1}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    const std::string id = parseBody(sub).at("id").asString();
+
+    // First part the real worker client posts is thinned by one row:
+    // its checksum matches the thinned payload, so it is the manifest
+    // verification that rejects it, and the shard re-runs.
+    faults::configure("worker.part.thin=1");
+    WorkerClientOptions w;
+    w.port = svc.port();
+    w.name = "flaky";
+    w.token = "tok";
+    w.pollMs = 2;
+    w.idleExitMs = 500;
+    Session workerSession;
+    const std::size_t posted = runWorkerClient(workerSession, w);
+
+    EXPECT_EQ(posted, 1u); // only the clean retry counted
+    EXPECT_EQ(awaitTerminal(svc, id), "done");
+
+    // Stats read while the plan is still armed — configure("") resets
+    // the injection counters.
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    faults::configure("");
+    EXPECT_EQ(stats.at("orchestrator").at("rejected_parts_total").asU64(),
+              1u);
+    EXPECT_EQ(stats.at("orchestrator").at("completed_shards_total").asU64(),
+              1u);
+    EXPECT_GE(stats.at("faults").at("injected_total").asU64(), 1u);
+    EXPECT_TRUE(stats.at("faults").at("enabled").asBool());
+
+    Session reference;
+    const ResultSet expected = runManifest(reference, manifest);
+    const std::optional<ResultSet> got = svc.jobs().finalResults(id);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->toJson().dump(), expected.toJson().dump());
+    svc.stop();
 }
 
 // --- policy arithmetic ---------------------------------------------------

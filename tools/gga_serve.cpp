@@ -9,7 +9,9 @@
  * Usage: gga_serve [--port P] [--port-file FILE] [--threads T]
  *                  [--max-queued-per-tenant N] [--lease-ms MS]
  *                  [--retry-base-ms MS] [--retry-cap-ms MS]
- *                  [--max-attempts N] [--tick-ms MS]
+ *                  [--max-attempts N] [--tick-ms MS] [--state-dir DIR]
+ *                  [--worker-token T] [--rate-per-tenant N]
+ *                  [--io-timeout-ms MS] [--drain-ms MS]
  *                  [--graph-budget-mb M] [--graph-cache DIR] [--verbose]
  *   --port       listen port on 127.0.0.1; 0 picks an ephemeral port
  *                (default 7421)
@@ -20,9 +22,19 @@
  *   --lease-ms / --retry-base-ms / --retry-cap-ms / --max-attempts
  *                remote-shard lease and capped-exponential-retry policy
  *   --tick-ms    lease expiry scan period
+ *   --state-dir  durable job journal; on restart unfinished jobs resume
+ *                and completed remote shards are never re-executed
+ *   --worker-token  shared secret the worker endpoints require
+ *                (X-GGA-Worker-Token header), else 401
+ *   --rate-per-tenant  sustained POST /v1/jobs rate per tenant
+ *                (jobs/sec; 0 = unlimited) -> 429 + Retry-After past it
+ *   --io-timeout-ms  per-connection socket read deadline (slow-loris
+ *                defense; 0 = none; default 30000)
+ *   --drain-ms   how long shutdown waits for in-flight requests
  *   --graph-budget-mb / --graph-cache  as in gga_worker
  *
- * Runs until SIGINT/SIGTERM, then drains and exits 0.
+ * Runs until SIGINT/SIGTERM, then drains and exits 0. Deterministic
+ * fault injection for tests: set GGA_FAULTS (see src/serve/faults.hpp).
  */
 
 #include <atomic>
@@ -105,6 +117,27 @@ main(int argc, char** argv)
                 parseCount("--tick-ms", argv[++i]));
             if (opts.tickMs == 0)
                 GGA_FATAL("--tick-ms must be at least 1");
+        } else if (!std::strcmp(argv[i], "--state-dir") && i + 1 < argc) {
+            opts.stateDir = argv[++i];
+        } else if (!std::strcmp(argv[i], "--worker-token") &&
+                   i + 1 < argc) {
+            opts.workerToken = argv[++i];
+        } else if (!std::strcmp(argv[i], "--rate-per-tenant") &&
+                   i + 1 < argc) {
+            const char* text = argv[++i];
+            char* end = nullptr;
+            opts.ratePerTenant = std::strtod(text, &end);
+            if (end == text || *end != '\0' || opts.ratePerTenant < 0)
+                GGA_FATAL("--rate-per-tenant wants a non-negative "
+                          "number, got '",
+                          text, "'");
+        } else if (!std::strcmp(argv[i], "--io-timeout-ms") &&
+                   i + 1 < argc) {
+            opts.ioTimeoutMs = static_cast<unsigned>(
+                parseCount("--io-timeout-ms", argv[++i]));
+        } else if (!std::strcmp(argv[i], "--drain-ms") && i + 1 < argc) {
+            opts.drainMs = static_cast<unsigned>(
+                parseCount("--drain-ms", argv[++i]));
         } else if (!std::strcmp(argv[i], "--graph-budget-mb") &&
                    i + 1 < argc) {
             budget_mb = static_cast<std::size_t>(
@@ -119,7 +152,10 @@ main(int argc, char** argv)
                       "[--threads T] [--max-queued-per-tenant N] "
                       "[--lease-ms MS] [--retry-base-ms MS] "
                       "[--retry-cap-ms MS] [--max-attempts N] "
-                      "[--tick-ms MS] [--graph-budget-mb M] "
+                      "[--tick-ms MS] [--state-dir DIR] "
+                      "[--worker-token T] [--rate-per-tenant N] "
+                      "[--io-timeout-ms MS] [--drain-ms MS] "
+                      "[--graph-budget-mb M] "
                       "[--graph-cache DIR] [--verbose]");
         }
     }

@@ -18,14 +18,15 @@
  *
  * Usage: gga_worker --manifest FILE [--shard I/N] [--policy rr|cost]
  *                   [--out FILE] [common options]
- *        gga_worker --connect PORT [--name NAME] [--idle-exit-ms MS]
- *                   [--poll-ms MS] [--exit-after-assignments N]
- *                   [common options]
+ *        gga_worker --connect PORT [--name NAME] [--token T]
+ *                   [--idle-exit-ms MS] [--poll-ms MS]
+ *                   [--exit-after-assignments N] [common options]
  *   --shard   this worker's slice; default 0/1 (the whole manifest)
  *   --policy  shard assignment: rr (round-robin, default) or cost
  *             (balance estimated edge-work)
  *   --out     output path; default part_<I>.json
  *   --connect  port of a local gga_serve to pull assignments from
+ *   --token   worker auth token, when the server runs --worker-token
  *   --idle-exit-ms  exit after this long with no assignment (0 = never)
  *   --exit-after-assignments  test hook: die (exit 17) upon receiving
  *             the Nth assignment, before running it — exercises the
@@ -111,6 +112,8 @@ main(int argc, char** argv)
                 parseCount("--connect", argv[++i]));
         } else if (!std::strcmp(argv[i], "--name") && i + 1 < argc) {
             client.name = argv[++i];
+        } else if (!std::strcmp(argv[i], "--token") && i + 1 < argc) {
+            client.token = argv[++i];
         } else if (!std::strcmp(argv[i], "--idle-exit-ms") && i + 1 < argc) {
             client.idleExitMs = static_cast<unsigned>(
                 parseCount("--idle-exit-ms", argv[++i]));
@@ -136,7 +139,8 @@ main(int argc, char** argv)
             GGA_FATAL("unknown argument '", argv[i],
                       "'; usage: gga_worker --manifest FILE [--shard I/N] "
                       "[--policy rr|cost] [--out FILE] | --connect PORT "
-                      "[--name NAME] [--idle-exit-ms MS] [--poll-ms MS] "
+                      "[--name NAME] [--token T] [--idle-exit-ms MS] "
+                      "[--poll-ms MS] "
                       "[--exit-after-assignments N]  plus [--threads T] "
                       "[--graph-budget-mb M] [--graph-cache DIR] "
                       "[--verbose]");
