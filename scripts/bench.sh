@@ -10,6 +10,8 @@
 #   suite default: all (outputs land at the repo root under the names
 #   above; a second argument redirects the single-suite runs)
 #   BUILD_DIR=... to reuse/redirect the build tree (default: build-bench).
+#   BENCH_THREADS=N to pin the graph suite's thread budget (default:
+#   the binary's GGA_BUILD_THREADS/GGA_SESSION_THREADS resolution).
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -38,6 +40,10 @@ fi
 if [[ "$suite" == graph || "$suite" == all ]]; then
   out=${2:-"$repo_root/BENCH_graph.json"}
   cmake --build "$build_dir" -j --target graph_build
-  "$build_dir/graph_build" --json "$out"
+  graph_args=(--json "$out")
+  if [[ -n "${BENCH_THREADS:-}" ]]; then
+    graph_args+=(--threads "$BENCH_THREADS")
+  fi
+  "$build_dir/graph_build" "${graph_args[@]}"
   echo "wrote $out"
 fi

@@ -5,35 +5,10 @@
 #include <thread>
 
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace gga {
-
-namespace {
-
-/**
- * Run fn(t) for t in [0, threads): threads-1 workers plus the calling
- * thread. The builder's phases are data-parallel with disjoint writes,
- * so a plain fork-join is all the structure needed.
- */
-template <typename Fn>
-void
-forkJoin(unsigned threads, const Fn& fn)
-{
-    if (threads <= 1) {
-        fn(0);
-        return;
-    }
-    std::vector<std::thread> workers;
-    workers.reserve(threads - 1);
-    for (unsigned t = 1; t < threads; ++t)
-        workers.emplace_back([&fn, t] { fn(t); });
-    fn(0);
-    for (std::thread& w : workers)
-        w.join();
-}
-
-} // namespace
 
 unsigned
 defaultBuildThreads()

@@ -28,6 +28,14 @@ class GraphBuilder
     /** Add a directed edge u->v (duplicates and self-loops filtered later). */
     void addEdge(VertexId u, VertexId v);
 
+    /** Pre-size the raw edge arrays for @p raw_edges addEdge calls. */
+    void
+    reserveEdges(std::size_t raw_edges)
+    {
+        srcs_.reserve(srcs_.size() + raw_edges);
+        dsts_.reserve(dsts_.size() + raw_edges);
+    }
+
     /** Add both u->v and v->u. */
     void addUndirected(VertexId u, VertexId v);
 

@@ -10,7 +10,10 @@
 #ifndef GGA_GRAPH_CSR_HPP
 #define GGA_GRAPH_CSR_HPP
 
+#include <algorithm>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "support/types.hpp"
@@ -20,14 +23,20 @@ namespace gga {
 /**
  * An immutable CSR graph. Edges are directed; the builders in this library
  * always produce symmetric edge sets (u->v present iff v->u present).
+ *
+ * Two storage modes share one read API:
+ *  - **Owning**: constructed from vectors, which the graph holds.
+ *  - **Borrowed**: the arrays alias caller-provided memory (e.g. an
+ *    mmap'ed snapshot) kept alive by a type-erased keeper, so loading a
+ *    multi-hundred-MB graph copies nothing.
  */
 class CsrGraph
 {
   public:
-    CsrGraph() = default;
+    CsrGraph() { rebindOwned(); }
 
     /**
-     * Construct from raw CSR arrays.
+     * Construct from raw CSR arrays (owning mode).
      *
      * @param row_offsets |V|+1 monotone offsets into col_indices.
      * @param col_indices edge targets, sorted within each row.
@@ -36,6 +45,36 @@ class CsrGraph
     CsrGraph(std::vector<EdgeId> row_offsets,
              std::vector<VertexId> col_indices,
              std::vector<std::uint32_t> weights = {});
+
+    /**
+     * Borrowed-storage mode: the spans alias memory owned by @p storage
+     * (an mmap'ed snapshot, an arena...), which is held alive for the
+     * graph's lifetime and shared by copies. Same structural
+     * preconditions as the owning constructor.
+     */
+    CsrGraph(std::span<const EdgeId> row_offsets,
+             std::span<const VertexId> col_indices,
+             std::span<const std::uint32_t> weights,
+             std::shared_ptr<const void> storage);
+
+    CsrGraph(const CsrGraph& o) { assignCopy(o); }
+    CsrGraph(CsrGraph&& o) noexcept { assignMove(std::move(o)); }
+
+    CsrGraph&
+    operator=(const CsrGraph& o)
+    {
+        if (this != &o)
+            assignCopy(o);
+        return *this;
+    }
+
+    CsrGraph&
+    operator=(CsrGraph&& o) noexcept
+    {
+        if (this != &o)
+            assignMove(std::move(o));
+        return *this;
+    }
 
     /** Number of vertices. */
     VertexId numVertices() const { return numVertices_; }
@@ -80,7 +119,8 @@ class CsrGraph
 
     /**
      * Resident size of the CSR arrays in bytes (GraphStore budget
-     * accounting / telemetry).
+     * accounting / telemetry). Borrowed graphs report the aliased bytes:
+     * mapped pages become resident once touched, so they budget the same.
      */
     std::size_t
     memoryBytes() const
@@ -91,22 +131,30 @@ class CsrGraph
     }
 
     /** Raw arrays (used by the simulator to place graph data in memory). */
-    const std::vector<EdgeId>& rowOffsets() const { return rowOffsets_; }
-    const std::vector<VertexId>& colIndices() const { return colIndices_; }
-    const std::vector<std::uint32_t>& weights() const { return weights_; }
+    std::span<const EdgeId> rowOffsets() const { return rowOffsets_; }
+    std::span<const VertexId> colIndices() const { return colIndices_; }
+    std::span<const std::uint32_t> weights() const { return weights_; }
+
+    /** True when the arrays alias external storage (e.g. a snapshot map). */
+    bool borrowsStorage() const { return storage_ != nullptr; }
 
     /**
      * Exact structural equality over all CSR arrays (offsets, targets,
      * weights). Used to verify that alternative build paths — the
-     * parallel counting-sort builder, binary snapshot round trips — are
-     * byte-identical to the reference.
+     * parallel counting-sort builder, parallel synthesis, binary snapshot
+     * round trips — are byte-identical to the reference. Storage mode is
+     * deliberately not part of the comparison.
      */
     bool
     operator==(const CsrGraph& o) const
     {
+        const auto eq = [](const auto& a, const auto& b) {
+            return a.size() == b.size() &&
+                   std::equal(a.begin(), a.end(), b.begin());
+        };
         return numVertices_ == o.numVertices_ &&
-               rowOffsets_ == o.rowOffsets_ &&
-               colIndices_ == o.colIndices_ && weights_ == o.weights_;
+               eq(rowOffsets_, o.rowOffsets_) &&
+               eq(colIndices_, o.colIndices_) && eq(weights_, o.weights_);
     }
 
     /** True if for every edge u->v the reverse edge v->u exists. */
@@ -116,10 +164,31 @@ class CsrGraph
     bool hasNoSelfLoops() const;
 
   private:
+    void validate() const;
+
+    /** Point the spans at the owned vectors (owning mode only). */
+    void
+    rebindOwned()
+    {
+        rowOffsets_ = ownedOffsets_;
+        colIndices_ = ownedCols_;
+        weights_ = ownedWeights_;
+    }
+
+    void assignCopy(const CsrGraph& o);
+    void assignMove(CsrGraph&& o) noexcept;
+
     VertexId numVertices_ = 0;
-    std::vector<EdgeId> rowOffsets_{0};
-    std::vector<VertexId> colIndices_;
-    std::vector<std::uint32_t> weights_;
+    // Owning mode keeps the arrays here; borrowed mode leaves them empty
+    // and holds the real owner in storage_. The spans are the single
+    // source of truth for readers in both modes.
+    std::vector<EdgeId> ownedOffsets_{0};
+    std::vector<VertexId> ownedCols_;
+    std::vector<std::uint32_t> ownedWeights_;
+    std::span<const EdgeId> rowOffsets_;
+    std::span<const VertexId> colIndices_;
+    std::span<const std::uint32_t> weights_;
+    std::shared_ptr<const void> storage_;
 };
 
 } // namespace gga

@@ -113,21 +113,37 @@ struct GenSpec
  * Synthesize the graph described by @p spec.
  *
  * Deterministic for a fixed spec (seed included) at every
- * @p build_threads value: threads parallelize only the CSR construction
- * (GraphBuilder::build), whose canonical output is order-independent.
- * 0 = defaultBuildThreads(). The result is directed symmetric with no
- * self-loops and exactly spec.numDirectedEdges edges, with deterministic
- * per-pair weights attached.
+ * @p build_threads value: synthesis decomposes over fixed vertex blocks
+ * and hash shards with counter-based per-owner RNG streams (SplitRng),
+ * and the CSR construction is canonical, so the output is byte-identical
+ * whether it runs on 1 thread or 8. 0 = defaultBuildThreads(). The
+ * result is directed symmetric with no self-loops and exactly
+ * spec.numDirectedEdges edges, with deterministic per-pair weights
+ * attached.
  */
 CsrGraph generateGraph(const GenSpec& spec, unsigned build_threads = 0);
+
+/**
+ * The frozen v1 synthesis path: one sequential Xoshiro stream feeding a
+ * single global pair set, with a binary-search partner sampler. Kept as
+ * the measured baseline for bench/graph_build's synth_speedup column —
+ * not content-addressed, never snapshot-cached, and its output differs
+ * from generateGraph's.
+ */
+CsrGraph generateGraphReference(const GenSpec& spec,
+                                unsigned build_threads = 1);
 
 /**
  * Version of the synthesis algorithm, folded into specContentHash. Bump
  * whenever a change alters any generated graph so content-addressed
  * snapshot caches (GraphStore / .csrbin files) can never serve a graph
  * the current code would not synthesize.
+ *
+ * v2: parallel deterministic synthesis — per-vertex/per-block SplitRng
+ * streams, alias-table partner sampling, sharded dedup, merge-time
+ * degree caps. Every degree-driven graph changed vs v1.
  */
-inline constexpr std::uint64_t kGeneratorVersion = 1;
+inline constexpr std::uint64_t kGeneratorVersion = 2;
 
 /**
  * Content hash of every generation-relevant GenSpec field (the name is

@@ -1,11 +1,15 @@
 #include "graph/snapshot.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -40,14 +44,192 @@ struct SnapshotHeader
 static_assert(sizeof(SnapshotHeader) == 48, "header must be packed");
 
 std::uint64_t
-blobChecksum(const std::vector<EdgeId>& offsets,
-             const std::vector<VertexId>& cols,
-             const std::vector<std::uint32_t>& weights)
+blobChecksum(std::span<const EdgeId> offsets, std::span<const VertexId> cols,
+             std::span<const std::uint32_t> weights)
 {
     std::uint64_t h = fnv1a(offsets.data(), offsets.size() * sizeof(EdgeId));
     h = fnv1a(cols.data(), cols.size() * sizeof(VertexId), h);
     h = fnv1a(weights.data(), weights.size() * sizeof(std::uint32_t), h);
     return h;
+}
+
+/**
+ * Shared header validation for both load paths; every check throws the
+ * same SnapshotError it did when loading was ifstream-only.
+ */
+void
+validateHeader(const SnapshotHeader& header, const std::string& path)
+{
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+        throw SnapshotError("'" + path + "': not a GGA CSR snapshot");
+    if (header.endian != kEndianTag)
+        throw SnapshotError("'" + path +
+                            "': written on a foreign-endian host");
+    if (header.version != kSnapshotFormatVersion)
+        throw SnapshotError(
+            "'" + path + "': format version " +
+            std::to_string(header.version) + ", this build reads " +
+            std::to_string(kSnapshotFormatVersion));
+    if (header.flags & ~kSnapshotHasWeights)
+        throw SnapshotError("'" + path + "': unknown flag bits");
+    // The dims drive allocations below; reject sizes the CSR types
+    // cannot represent before trusting them.
+    if (header.numVertices >= 0xffffffffull ||
+        header.numEdges > 0xffffffffull)
+        throw SnapshotError("'" + path + "': dimensions out of range");
+}
+
+/**
+ * Structural validation before the CsrGraph constructor: its GGA_ASSERTs
+ * are fatal, and a malformed-but-checksummed file must surface as a
+ * catchable SnapshotError instead.
+ */
+void
+validateStructure(std::span<const EdgeId> offsets,
+                  std::span<const VertexId> cols, const std::string& path)
+{
+    if (offsets.front() != 0 || offsets.back() != cols.size() ||
+        !std::is_sorted(offsets.begin(), offsets.end()))
+        throw SnapshotError("'" + path + "': malformed row offsets");
+    const std::size_t v = offsets.size() - 1;
+    for (VertexId t : cols) {
+        if (t >= v)
+            throw SnapshotError("'" + path + "': edge target out of range");
+    }
+}
+
+/** RAII keeper for an mmap'ed snapshot; the CsrGraph holds it alive. */
+struct MappedFile
+{
+    MappedFile(void* data, std::size_t bytes) : data(data), bytes(bytes) {}
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+    ~MappedFile() { ::munmap(data, bytes); }
+
+    void* data;
+    std::size_t bytes;
+};
+
+CsrGraph
+loadViaCopy(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SnapshotError("cannot open snapshot '" + path + "'");
+
+    SnapshotHeader header{};
+    in.read(reinterpret_cast<char*>(&header), sizeof header);
+    if (in.gcount() != sizeof header)
+        throw SnapshotError("'" + path + "': truncated header");
+    validateHeader(header, path);
+
+    const std::size_t v = static_cast<std::size_t>(header.numVertices);
+    const std::size_t e = static_cast<std::size_t>(header.numEdges);
+    const bool weighted = header.flags & kSnapshotHasWeights;
+    std::vector<EdgeId> offsets(v + 1);
+    std::vector<VertexId> cols(e);
+    std::vector<std::uint32_t> weights(weighted ? e : 0);
+    const auto get = [&in, &path](void* data, std::size_t bytes,
+                                  const char* what) {
+        in.read(static_cast<char*>(data),
+                static_cast<std::streamsize>(bytes));
+        if (static_cast<std::size_t>(in.gcount()) != bytes)
+            throw SnapshotError("'" + path + "': truncated " +
+                                std::string(what) + " blob");
+    };
+    get(offsets.data(), offsets.size() * sizeof(EdgeId), "offsets");
+    get(cols.data(), cols.size() * sizeof(VertexId), "targets");
+    if (weighted)
+        get(weights.data(), weights.size() * sizeof(std::uint32_t),
+            "weights");
+    if (in.peek() != std::ifstream::traits_type::eof())
+        throw SnapshotError("'" + path + "': trailing bytes after payload");
+
+    if (blobChecksum(offsets, cols, weights) != header.checksum)
+        throw SnapshotError("'" + path + "': content checksum mismatch");
+
+    validateStructure(offsets, cols, path);
+    return CsrGraph(std::move(offsets), std::move(cols),
+                    std::move(weights));
+}
+
+/**
+ * Zero-copy load: map the file read-only, validate in place, and return
+ * a borrowed-storage graph aliasing the mapping. Only open/stat/mmap
+ * syscall failures set @p *unavailable (the cue for Auto to fall back to
+ * the copying path); a file that maps but fails validation is corrupt on
+ * every path and throws.
+ */
+CsrGraph
+loadViaMmap(const std::string& path, bool* unavailable)
+{
+    *unavailable = false;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        *unavailable = true;
+        return {};
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        *unavailable = true;
+        return {};
+    }
+    const std::size_t file_bytes = static_cast<std::size_t>(st.st_size);
+    if (file_bytes < sizeof(SnapshotHeader)) {
+        ::close(fd);
+        throw SnapshotError("'" + path + "': truncated header");
+    }
+    void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps the file's pages reachable
+    if (map == MAP_FAILED) {
+        *unavailable = true;
+        return {};
+    }
+    auto keeper = std::make_shared<MappedFile>(map, file_bytes);
+
+    SnapshotHeader header{};
+    std::memcpy(&header, map, sizeof header);
+    validateHeader(header, path);
+
+    const std::size_t v = static_cast<std::size_t>(header.numVertices);
+    const std::size_t e = static_cast<std::size_t>(header.numEdges);
+    const bool weighted = header.flags & kSnapshotHasWeights;
+    const std::size_t offs_bytes = (v + 1) * sizeof(EdgeId);
+    const std::size_t cols_bytes = e * sizeof(VertexId);
+    const std::size_t wts_bytes = weighted ? e * sizeof(std::uint32_t) : 0;
+
+    // Every blob is 4-byte aligned: the header is 48 bytes and both
+    // element types are 4 bytes wide (static_asserts above).
+    std::size_t at = sizeof(SnapshotHeader);
+    const auto blob = [&](std::size_t bytes,
+                          const char* what) -> const char* {
+        if (file_bytes - at < bytes)
+            throw SnapshotError("'" + path + "': truncated " +
+                                std::string(what) + " blob");
+        const char* p = static_cast<const char*>(map) + at;
+        at += bytes;
+        return p;
+    };
+    const std::span<const EdgeId> offsets{
+        reinterpret_cast<const EdgeId*>(blob(offs_bytes, "offsets")),
+        v + 1};
+    const std::span<const VertexId> cols{
+        reinterpret_cast<const VertexId*>(blob(cols_bytes, "targets")), e};
+    const std::span<const std::uint32_t> weights{
+        weighted
+            ? reinterpret_cast<const std::uint32_t*>(
+                  blob(wts_bytes, "weights"))
+            : nullptr,
+        weighted ? e : 0};
+    if (at != file_bytes)
+        throw SnapshotError("'" + path + "': trailing bytes after payload");
+
+    if (blobChecksum(offsets, cols, weights) != header.checksum)
+        throw SnapshotError("'" + path + "': content checksum mismatch");
+
+    validateStructure(offsets, cols, path);
+    return CsrGraph(offsets, cols, weights, std::move(keeper));
 }
 
 } // namespace
@@ -108,71 +290,17 @@ saveCsrSnapshot(const std::string& path, const CsrGraph& g)
 }
 
 CsrGraph
-loadCsrSnapshot(const std::string& path)
+loadCsrSnapshot(const std::string& path, SnapshotLoadMode mode)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw SnapshotError("cannot open snapshot '" + path + "'");
-
-    SnapshotHeader header{};
-    in.read(reinterpret_cast<char*>(&header), sizeof header);
-    if (in.gcount() != sizeof header)
-        throw SnapshotError("'" + path + "': truncated header");
-    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
-        throw SnapshotError("'" + path + "': not a GGA CSR snapshot");
-    if (header.endian != kEndianTag)
-        throw SnapshotError("'" + path +
-                            "': written on a foreign-endian host");
-    if (header.version != kSnapshotFormatVersion)
-        throw SnapshotError(
-            "'" + path + "': format version " +
-            std::to_string(header.version) + ", this build reads " +
-            std::to_string(kSnapshotFormatVersion));
-    if (header.flags & ~kSnapshotHasWeights)
-        throw SnapshotError("'" + path + "': unknown flag bits");
-    // The dims drive allocations below; reject sizes the CSR types
-    // cannot represent before trusting them.
-    if (header.numVertices >= 0xffffffffull ||
-        header.numEdges > 0xffffffffull)
-        throw SnapshotError("'" + path + "': dimensions out of range");
-
-    const std::size_t v = static_cast<std::size_t>(header.numVertices);
-    const std::size_t e = static_cast<std::size_t>(header.numEdges);
-    const bool weighted = header.flags & kSnapshotHasWeights;
-    std::vector<EdgeId> offsets(v + 1);
-    std::vector<VertexId> cols(e);
-    std::vector<std::uint32_t> weights(weighted ? e : 0);
-    const auto get = [&in, &path](void* data, std::size_t bytes,
-                                  const char* what) {
-        in.read(static_cast<char*>(data),
-                static_cast<std::streamsize>(bytes));
-        if (static_cast<std::size_t>(in.gcount()) != bytes)
-            throw SnapshotError("'" + path + "': truncated " +
-                                std::string(what) + " blob");
-    };
-    get(offsets.data(), offsets.size() * sizeof(EdgeId), "offsets");
-    get(cols.data(), cols.size() * sizeof(VertexId), "targets");
-    if (weighted)
-        get(weights.data(), weights.size() * sizeof(std::uint32_t),
-            "weights");
-    if (in.peek() != std::ifstream::traits_type::eof())
-        throw SnapshotError("'" + path + "': trailing bytes after payload");
-
-    if (blobChecksum(offsets, cols, weights) != header.checksum)
-        throw SnapshotError("'" + path + "': content checksum mismatch");
-
-    // Structural validation before the CsrGraph constructor: its
-    // GGA_ASSERTs are fatal, and a malformed-but-checksummed file must
-    // surface as a catchable SnapshotError instead.
-    if (offsets.front() != 0 || offsets.back() != e ||
-        !std::is_sorted(offsets.begin(), offsets.end()))
-        throw SnapshotError("'" + path + "': malformed row offsets");
-    for (VertexId t : cols) {
-        if (t >= v)
-            throw SnapshotError("'" + path + "': edge target out of range");
-    }
-    return CsrGraph(std::move(offsets), std::move(cols),
-                    std::move(weights));
+    if (mode == SnapshotLoadMode::Copy)
+        return loadViaCopy(path);
+    bool unavailable = false;
+    CsrGraph g = loadViaMmap(path, &unavailable);
+    if (!unavailable)
+        return g;
+    if (mode == SnapshotLoadMode::Mmap)
+        throw SnapshotError("cannot mmap snapshot '" + path + "'");
+    return loadViaCopy(path);
 }
 
 } // namespace gga

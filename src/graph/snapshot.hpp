@@ -53,13 +53,32 @@ inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
  */
 void saveCsrSnapshot(const std::string& path, const CsrGraph& g);
 
+/** How loadCsrSnapshot materializes the arrays. */
+enum class SnapshotLoadMode
+{
+    /** mmap when the filesystem supports it, else the copying path. */
+    Auto,
+    /** Zero-copy: the graph borrows the mapping (fails if mmap does). */
+    Mmap,
+    /** Read every blob through ifstream into owned vectors. */
+    Copy,
+};
+
 /**
  * Load a snapshot written by saveCsrSnapshot. Throws SnapshotError on a
  * missing file, bad magic/version/endianness, truncated or oversized
  * payload, checksum mismatch, or malformed CSR arrays — never a fatal,
  * so callers can fall back to building from scratch.
+ *
+ * The default Auto mode maps the file read-only and returns a
+ * borrowed-storage CsrGraph aliasing the mapping (the checksum is still
+ * verified over the mapped pages), falling back to the copying ifstream
+ * path on filesystems where mmap fails. Both modes return graphs that
+ * compare equal; the mapping (not the file name) is held alive by the
+ * graph, so deleting the snapshot after a load is safe.
  */
-CsrGraph loadCsrSnapshot(const std::string& path);
+CsrGraph loadCsrSnapshot(const std::string& path,
+                         SnapshotLoadMode mode = SnapshotLoadMode::Auto);
 
 /**
  * Canonical cache-file name for a graph identified by @p name (preset

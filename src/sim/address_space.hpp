@@ -9,6 +9,7 @@
 #define GGA_SIM_ADDRESS_SPACE_HPP
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,18 @@ class DeviceBuffer
     DeviceBuffer(AddressSpace& space, std::vector<T> data,
                  const std::string& name)
         : data_(std::move(data)),
+          base_(space.allocate(data_.size() * sizeof(T), name))
+    {
+    }
+
+    /**
+     * Construct by copying borrowed host data (e.g. the arrays of an
+     * mmap-backed CsrGraph); the buffer owns its copy either way since
+     * simulated kernels mutate device memory.
+     */
+    DeviceBuffer(AddressSpace& space, std::span<const T> data,
+                 const std::string& name)
+        : data_(data.begin(), data.end()),
           base_(space.allocate(data_.size() * sizeof(T), name))
     {
     }

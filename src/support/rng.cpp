@@ -68,4 +68,17 @@ Xoshiro256StarStar::nextGaussian()
     return r * std::cos(2.0 * M_PI * u2);
 }
 
+double
+SplitRng::nextGaussian()
+{
+    // Same Box-Muller recipe as Xoshiro256StarStar::nextGaussian.
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
 } // namespace gga

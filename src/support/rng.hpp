@@ -103,6 +103,67 @@ class Xoshiro256StarStar
     std::uint64_t s_[4];
 };
 
+/**
+ * Counter-based splittable generator: every draw is a pure function of
+ * (seed, stream, counter), so any (vertex, block, phase) of a parallel
+ * computation can own an independent reproducible stream with no
+ * sequential dependence on any other stream. Draw i of
+ * SplitRng(s, t) equals draw 0 of SplitRng(s, t, i).
+ *
+ * The stream key is derived with hashCombine so structured stream ids
+ * (e.g. `(phase << 32) | vertex`) land on unrelated sequences; each
+ * output applies the SplitMix64 finalizer to key + counter * gamma,
+ * i.e. the stream IS a SplitMix64 sequence starting at the key.
+ */
+class SplitRng
+{
+  public:
+    SplitRng(std::uint64_t seed, std::uint64_t stream,
+             std::uint64_t counter = 0)
+        : key_(hashCombine(seed, stream)), counter_(counter)
+    {
+    }
+
+    /** Next 64 raw bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = key_ + (counter_++) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Same modulo policy as Xoshiro256StarStar::nextBounded.
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    double nextGaussian();
+
+    /** Draws consumed so far (plus the constructor's starting offset). */
+    std::uint64_t
+    counter() const
+    {
+        return counter_;
+    }
+
+  private:
+    std::uint64_t key_;
+    std::uint64_t counter_;
+};
+
 } // namespace gga
 
 #endif // GGA_SUPPORT_RNG_HPP

@@ -130,30 +130,30 @@ goldens()
 {
     static const std::vector<Golden> kGolden = {
         // GGA_DETERMINISM_GOLDENS_BEGIN
-    {AppId::Pr, "TG0", 144618ull, 244049ull,
-     {118095, 121498, 5115, 0, 0, 0, 0, 76618, 1736, 13530, 12662, 38000, 0, 1736, 116, 75742, 16797349, 0}},
-    {AppId::Pr, "SDR", 265760ull, 406694ull,
-     {68619, 41582, 3465, 172430, 29511, 17483, 0, 36909, 2758, 0, 0, 12527, 15690, 2758, 162, 78245, 10238248, 0}},
-    {AppId::Sssp, "TG0", 290838ull, 456305ull,
-     {184383, 248825, 1731, 0, 0, 0, 0, 172058, 4840, 6144, 4530, 30086, 0, 4840, 150, 200243, 40661713, 0}},
-    {AppId::Sssp, "SDR", 93335ull, 170197ull,
-     {27830, 32257, 3835, 32314, 15453, 9543, 0, 30502, 3722, 0, 0, 8496, 6842, 3722, 78, 45952, 8963930, 0}},
-    {AppId::Mis, "TG0", 47579ull, 85263ull,
-     {32883, 40261, 1700, 0, 0, 0, 0, 29179, 1589, 4405, 4181, 16962, 0, 1589, 118, 26140, 6138063, 0}},
-    {AppId::Mis, "SDR", 51612ull, 93281ull,
-     {14363, 14366, 969, 26305, 7774, 5625, 0, 12762, 2894, 0, 0, 8376, 3978, 2894, 64, 16021, 2994886, 0}},
-    {AppId::Clr, "TG0", 214151ull, 335059ull,
-     {145997, 154055, 6627, 0, 0, 0, 0, 120237, 1579, 11597, 10282, 65032, 0, 1579, 53, 89047, 24075420, 0}},
-    {AppId::Clr, "SDR", 252337ull, 352508ull,
-     {81857, 56977, 4188, 107861, 20411, 14642, 0, 52856, 2593, 0, 0, 32402, 11213, 2593, 59, 53094, 12010054, 0}},
-    {AppId::Bc, "TG0", 96952ull, 158568ull,
-     {68494, 78932, 1963, 0, 0, 0, 0, 58620, 1637, 8366, 6740, 28603, 0, 1637, 573, 40581, 12065616, 0}},
-    {AppId::Bc, "SDR", 96080ull, 156168ull,
-     {41883, 45744, 3306, 13536, 13800, 9332, 0, 39417, 5105, 0, 0, 22613, 3758, 5105, 925, 31945, 9610232, 0}},
-    {AppId::Cc, "DG0", 159064ull, 192021ull,
-     {2, 13344, 330, 0, 0, 0, 80709, 12868, 1414, 392, 392, 13525, 0, 1414, 0, 61634, 3217766, 18300345}},
-    {AppId::Cc, "DDR", 98704ull, 130489ull,
-     {5385, 7961, 330, 75253, 12073, 9783, 0, 7546, 1744, 0, 0, 1533, 9783, 1744, 0, 1508, 1329936, 0}},
+    {AppId::Pr, "TG0", 144448ull, 250196ull,
+     {116218, 123786, 5115, 0, 0, 0, 0, 77321, 1755, 13530, 12706, 37970, 0, 1755, 117, 79633, 17213920, 0}},
+    {AppId::Pr, "SDR", 267678ull, 407363ull,
+     {68554, 41400, 3465, 172140, 29609, 17286, 0, 36634, 2785, 0, 0, 12477, 15416, 2785, 183, 77964, 10273245, 0}},
+    {AppId::Sssp, "TG0", 303740ull, 484368ull,
+     {193158, 264351, 1819, 0, 0, 0, 0, 181683, 4931, 6378, 4697, 31934, 0, 4931, 149, 211400, 42993340, 0}},
+    {AppId::Sssp, "SDR", 101525ull, 184125ull,
+     {29045, 35107, 4168, 34337, 16449, 10080, 0, 33194, 3838, 0, 0, 9423, 7212, 3838, 88, 49791, 9713277, 0}},
+    {AppId::Mis, "TG0", 48104ull, 85934ull,
+     {30870, 41809, 1723, 0, 0, 0, 0, 29321, 1582, 4451, 4221, 17089, 0, 1582, 123, 26532, 6213353, 0}},
+    {AppId::Mis, "SDR", 50739ull, 93654ull,
+     {14155, 14383, 985, 26105, 7903, 5744, 0, 12783, 2893, 0, 0, 8362, 4077, 2893, 66, 16112, 2980342, 0}},
+    {AppId::Clr, "TG0", 219168ull, 341697ull,
+     {141795, 155250, 6679, 0, 0, 0, 0, 121656, 1577, 11750, 10423, 64873, 0, 1577, 52, 92540, 24647259, 0}},
+    {AppId::Clr, "SDR", 248765ull, 353927ull,
+     {80016, 57028, 4212, 106091, 20523, 14625, 0, 52899, 2573, 0, 0, 31746, 11204, 2573, 42, 54465, 12147230, 0}},
+    {AppId::Bc, "TG0", 100813ull, 162503ull,
+     {67032, 81457, 1945, 0, 0, 0, 0, 60099, 1647, 8275, 6621, 29277, 0, 1647, 576, 41702, 12415769, 0}},
+    {AppId::Bc, "SDR", 98902ull, 159300ull,
+     {42016, 46424, 3373, 13779, 13734, 9389, 0, 40001, 5118, 0, 0, 22829, 3715, 5118, 907, 31748, 9648458, 0}},
+    {AppId::Cc, "DG0", 148978ull, 179431ull,
+     {0, 13352, 330, 0, 0, 0, 74568, 12873, 1420, 398, 398, 13520, 0, 1420, 0, 57500, 3254458, 17082247}},
+    {AppId::Cc, "DDR", 93671ull, 124281ull,
+     {5358, 7994, 330, 71433, 11359, 9061, 0, 7577, 1750, 0, 0, 1562, 9061, 1750, 0, 1810, 1324838, 0}},
         // GGA_DETERMINISM_GOLDENS_END
     };
     return kGolden;

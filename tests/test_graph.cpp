@@ -8,7 +8,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -21,6 +24,14 @@
 
 namespace gga {
 namespace {
+
+/** Materialize a CSR span accessor for gtest's container EXPECT_EQ. */
+template <typename T>
+std::vector<T>
+toVec(std::span<const T> s)
+{
+    return {s.begin(), s.end()};
+}
 
 TEST(GraphBuilder, SymmetrizesAndDedupes)
 {
@@ -202,8 +213,8 @@ TEST(MtxIo, RoundTrips)
     const CsrGraph g2 = readMatrixMarket(in);
     EXPECT_EQ(g2.numVertices(), g.numVertices());
     EXPECT_EQ(g2.numEdges(), g.numEdges());
-    EXPECT_EQ(g2.rowOffsets(), g.rowOffsets());
-    EXPECT_EQ(g2.colIndices(), g.colIndices());
+    EXPECT_EQ(toVec(g2.rowOffsets()), toVec(g.rowOffsets()));
+    EXPECT_EQ(toVec(g2.colIndices()), toVec(g.colIndices()));
 }
 
 TEST(MtxIo, RoundTripsGraphWithSelfLoops)
@@ -228,8 +239,8 @@ TEST(MtxIo, RoundTripsGraphWithSelfLoops)
     const CsrGraph g2 =
         readMatrixMarket(in, /*with_weights=*/true,
                          /*keep_self_loops=*/true);
-    EXPECT_EQ(g2.rowOffsets(), g.rowOffsets());
-    EXPECT_EQ(g2.colIndices(), g.colIndices());
+    EXPECT_EQ(toVec(g2.rowOffsets()), toVec(g.rowOffsets()));
+    EXPECT_EQ(toVec(g2.colIndices()), toVec(g.colIndices()));
     // Weights are a deterministic endpoint hash, so they round-trip too.
     for (EdgeId e = 0; e < g.numEdges(); ++e)
         EXPECT_EQ(g2.edgeWeight(e), g.edgeWeight(e)) << e;
@@ -329,6 +340,88 @@ TEST_F(CsrSnapshot, RejectsForeignFilesAndVersions)
     f.write(reinterpret_cast<const char*>(&future), sizeof future);
     f.close();
     EXPECT_THROW(loadCsrSnapshot(path_), SnapshotError);
+}
+
+TEST_F(CsrSnapshot, MmapLoadIsByteIdenticalToCopyLoad)
+{
+    const CsrGraph g = messyBuilder(257, 4000, 12).build(true);
+    saveCsrSnapshot(path_, g);
+    const CsrGraph copied = loadCsrSnapshot(path_, SnapshotLoadMode::Copy);
+    const CsrGraph mapped = loadCsrSnapshot(path_, SnapshotLoadMode::Mmap);
+    const CsrGraph autod = loadCsrSnapshot(path_); // Auto defaults to mmap
+    EXPECT_FALSE(copied.borrowsStorage());
+    EXPECT_TRUE(mapped.borrowsStorage());
+    EXPECT_TRUE(autod.borrowsStorage());
+    EXPECT_EQ(copied, g);
+    EXPECT_EQ(mapped, g);
+    EXPECT_EQ(autod, g);
+    EXPECT_EQ(toVec(mapped.rowOffsets()), toVec(copied.rowOffsets()));
+    EXPECT_EQ(toVec(mapped.colIndices()), toVec(copied.colIndices()));
+    EXPECT_EQ(toVec(mapped.weights()), toVec(copied.weights()));
+
+    // Weightless snapshots map too (no weights blob, empty span).
+    const CsrGraph bare = messyBuilder(57, 400, 13).build(false);
+    saveCsrSnapshot(path_, bare);
+    const CsrGraph bare_mapped =
+        loadCsrSnapshot(path_, SnapshotLoadMode::Mmap);
+    EXPECT_EQ(bare_mapped, bare);
+    EXPECT_FALSE(bare_mapped.hasWeights());
+}
+
+TEST_F(CsrSnapshot, MmapRejectsCorruptionLikeTheCopyPath)
+{
+    const CsrGraph g = messyBuilder(257, 4000, 14).build(true);
+    saveCsrSnapshot(path_, g);
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    const auto full_size = static_cast<std::size_t>(in.tellg());
+    in.close();
+
+    std::filesystem::resize_file(path_, full_size - 4);
+    for (const auto mode :
+         {SnapshotLoadMode::Mmap, SnapshotLoadMode::Copy}) {
+        EXPECT_THROW(loadCsrSnapshot(path_, mode), SnapshotError)
+            << "truncated";
+    }
+
+    saveCsrSnapshot(path_, g);
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(full_size / 2));
+    f.put('\x7f');
+    f.close();
+    for (const auto mode :
+         {SnapshotLoadMode::Mmap, SnapshotLoadMode::Copy}) {
+        EXPECT_THROW(loadCsrSnapshot(path_, mode), SnapshotError)
+            << "bit flip";
+    }
+
+    // A missing file is "mmap unavailable": Mmap mode refuses, Auto
+    // falls back to the copy path and reports its error.
+    std::remove(path_.c_str());
+    EXPECT_THROW(loadCsrSnapshot(path_, SnapshotLoadMode::Mmap),
+                 SnapshotError);
+    EXPECT_THROW(loadCsrSnapshot(path_, SnapshotLoadMode::Auto),
+                 SnapshotError);
+}
+
+TEST_F(CsrSnapshot, MappedGraphOutlivesTheSnapshotFile)
+{
+    // The mapping, not the file name, keeps the pages alive: a cache
+    // eviction (unlink) under a resident graph must not invalidate it.
+    const CsrGraph g = messyBuilder(257, 4000, 15).build(true);
+    saveCsrSnapshot(path_, g);
+    const CsrGraph mapped = loadCsrSnapshot(path_, SnapshotLoadMode::Mmap);
+    ASSERT_EQ(std::remove(path_.c_str()), 0);
+    EXPECT_EQ(mapped, g);
+
+    // Copies of a borrowed graph share the mapping and stay valid after
+    // the original goes away.
+    auto copy = std::make_unique<CsrGraph>(mapped);
+    const CsrGraph moved = [&] {
+        CsrGraph tmp = *copy;
+        copy.reset();
+        return tmp;
+    }();
+    EXPECT_EQ(moved, g);
 }
 
 TEST(CsrSnapshotName, IsContentAddressed)

@@ -67,6 +67,61 @@ TEST(Xoshiro, GaussianMoments)
     EXPECT_NEAR(sum.stddev, 1.0, 0.05);
 }
 
+TEST(SplitRng, CounterIsRandomAccess)
+{
+    // Draw i of stream (s, t) must equal draw 0 of the same stream
+    // started at counter i: that is what lets parallel phases jump to
+    // any position without replaying the prefix.
+    SplitRng seq(42, 7);
+    std::vector<std::uint64_t> draws(32);
+    for (auto& d : draws)
+        d = seq.next();
+    for (std::uint64_t i = 0; i < draws.size(); ++i) {
+        SplitRng jump(42, 7, i);
+        EXPECT_EQ(jump.next(), draws[i]) << "counter " << i;
+    }
+}
+
+TEST(SplitRng, StreamsAreIndependentAndReproducible)
+{
+    SplitRng a(42, 1);
+    SplitRng a2(42, 1);
+    SplitRng b(42, 2);
+    SplitRng c(43, 1);
+    bool differs_ab = false;
+    bool differs_ac = false;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t va = a.next();
+        EXPECT_EQ(va, a2.next());
+        differs_ab |= va != b.next();
+        differs_ac |= va != c.next();
+    }
+    EXPECT_TRUE(differs_ab);
+    EXPECT_TRUE(differs_ac);
+}
+
+TEST(SplitRng, BoundedAndDoubleRanges)
+{
+    SplitRng rng(7, 0);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBounded(17), 17u);
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(SplitRng, GaussianMoments)
+{
+    SplitRng rng(11, 3);
+    std::vector<double> samples(20000);
+    for (auto& s : samples)
+        s = rng.nextGaussian();
+    const Summary sum = summarize(samples);
+    EXPECT_NEAR(sum.mean, 0.0, 0.05);
+    EXPECT_NEAR(sum.stddev, 1.0, 0.05);
+}
+
 TEST(Stats, SummaryBasics)
 {
     const std::vector<double> v{1.0, 2.0, 3.0, 4.0};

@@ -20,21 +20,34 @@
  *   --presets  comma-separated preset names, or "all"; default: all six
  *              when no manifest is given
  *   --scale    preset scale for --presets entries; default 1.0 (paper size)
- *   --threads  build threads; default GGA_BUILD_THREADS/GGA_SESSION_THREADS
- *   --verify   load every selected snapshot, rebuild from scratch, and
- *              require byte-identical CSR arrays (exit 1 on any mismatch
- *              or unreadable snapshot) instead of writing anything
+ *   --threads  total thread budget, split between concurrent targets and
+ *              per-build synthesis threads (pool width = min(T, targets),
+ *              each build gets T/width); default
+ *              GGA_BUILD_THREADS/GGA_SESSION_THREADS
+ *   --verify   load every selected snapshot, rebuild from scratch at two
+ *              different thread counts, and require all three byte-
+ *              identical (exit 1 on any mismatch or unreadable snapshot)
+ *              instead of writing anything
  *   --force    rebuild and overwrite snapshots that already load cleanly
+ *
+ * Targets run concurrently on a TaskPool; each target's log lines are
+ * buffered and printed in target order, so the output reads the same at
+ * every --threads value.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <future>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/graph_store.hpp"
+#include "api/task_pool.hpp"
 #include "eval/manifest.hpp"
+#include "graph/builder.hpp"
 #include "graph/generator.hpp"
 #include "graph/presets.hpp"
 #include "graph/snapshot.hpp"
@@ -180,55 +193,106 @@ main(int argc, char** argv)
         if (!verify)
             std::filesystem::create_directories(cache);
 
-        int failures = 0;
-        for (const Target& t : targets) {
+        // Split the thread budget: as many concurrent targets as the
+        // budget (or the target list) allows, remaining threads to each
+        // build. Generation is deterministic at every split, so this is
+        // purely a wall-clock decision.
+        const unsigned budget =
+            threads ? threads : gga::defaultBuildThreads();
+        const unsigned width = static_cast<unsigned>(std::min<std::size_t>(
+            std::max(1u, budget), targets.size()));
+        const unsigned per_build = std::max(1u, budget / width);
+
+        struct Report
+        {
+            std::string out;
+            std::string err;
+            int failures = 0;
+        };
+        const auto process = [&cache, verify, force,
+                              per_build](const Target& t) -> Report {
+            Report r;
+            std::ostringstream out;
+            std::ostringstream err;
             const std::string path = snapshotPathFor(cache, t);
-            const std::string label = std::string(gga::presetName(t.preset)) +
-                                      " @ " + std::to_string(t.scale);
+            const std::string label =
+                std::string(gga::presetName(t.preset)) + " @ " +
+                std::to_string(t.scale);
             if (verify) {
                 try {
                     const gga::CsrGraph loaded = gga::loadCsrSnapshot(path);
-                    const gga::CsrGraph rebuilt = gga::buildPresetScaled(
-                        t.preset, t.scale, threads);
-                    if (loaded == rebuilt) {
-                        std::cout << "verified " << label
-                                  << ": snapshot is byte-identical to a "
-                                     "fresh build ("
-                                  << loaded.numEdges() << " edges)\n";
+                    // Rebuild at two different thread counts: catches a
+                    // stale snapshot and a thread-count-dependent
+                    // generator in one pass.
+                    const unsigned alt = std::max(2u, per_build);
+                    const gga::CsrGraph rebuilt =
+                        gga::buildPresetScaled(t.preset, t.scale, 1);
+                    const gga::CsrGraph rebuilt_alt =
+                        gga::buildPresetScaled(t.preset, t.scale, alt);
+                    if (!(rebuilt == rebuilt_alt)) {
+                        err << "MISMATCH " << label
+                            << ": fresh builds at 1 and " << alt
+                            << " threads differ\n";
+                        ++r.failures;
+                    } else if (loaded == rebuilt) {
+                        out << "verified " << label
+                            << ": snapshot is byte-identical to fresh "
+                               "builds at 1 and "
+                            << alt << " threads (" << loaded.numEdges()
+                            << " edges)\n";
                     } else {
-                        std::cerr << "MISMATCH " << label << ": " << path
-                                  << " loads but differs from a fresh "
-                                     "build\n";
-                        ++failures;
+                        err << "MISMATCH " << label << ": " << path
+                            << " loads but differs from a fresh build\n";
+                        ++r.failures;
                     }
-                } catch (const gga::SnapshotError& err) {
-                    std::cerr << "FAIL " << label << ": " << err.what()
-                              << "\n";
-                    ++failures;
+                } catch (const gga::SnapshotError& e) {
+                    err << "FAIL " << label << ": " << e.what() << "\n";
+                    ++r.failures;
                 }
-                continue;
+                r.out = out.str();
+                r.err = err.str();
+                return r;
             }
+            bool cached = false;
             if (!force) {
                 try {
                     const gga::CsrGraph loaded = gga::loadCsrSnapshot(path);
-                    std::cout << "cached " << label << ": " << path << " ("
-                              << loaded.numEdges() << " edges)\n";
-                    continue;
-                } catch (const gga::SnapshotError& err) {
+                    out << "cached " << label << ": " << path << " ("
+                        << loaded.numEdges() << " edges)\n";
+                    cached = true;
+                } catch (const gga::SnapshotError& e) {
                     // Missing is a routine cold cache; a present-but-
                     // unloadable file deserves a loud line before the
                     // rebuild overwrites it.
                     if (std::filesystem::exists(path))
-                        std::cerr << "rejecting damaged snapshot for "
-                                  << label << ": " << err.what()
-                                  << "; rebuilding\n";
+                        err << "rejecting damaged snapshot for " << label
+                            << ": " << e.what() << "; rebuilding\n";
                 }
             }
-            const gga::CsrGraph built =
-                gga::buildPresetScaled(t.preset, t.scale, threads);
-            gga::saveCsrSnapshot(path, built);
-            std::cout << "wrote " << label << ": " << path << " ("
-                      << built.numEdges() << " edges)\n";
+            if (!cached) {
+                const gga::CsrGraph built =
+                    gga::buildPresetScaled(t.preset, t.scale, per_build);
+                gga::saveCsrSnapshot(path, built);
+                out << "wrote " << label << ": " << path << " ("
+                    << built.numEdges() << " edges)\n";
+            }
+            r.out = out.str();
+            r.err = err.str();
+            return r;
+        };
+
+        int failures = 0;
+        gga::TaskPool pool(width);
+        std::vector<std::future<Report>> reports;
+        reports.reserve(targets.size());
+        for (const Target& t : targets)
+            reports.push_back(
+                pool.submit([&process, t] { return process(t); }));
+        for (std::future<Report>& f : reports) {
+            const Report r = f.get();
+            std::cout << r.out;
+            std::cerr << r.err;
+            failures += r.failures;
         }
         if (failures > 0) {
             std::cerr << failures << " snapshot(s) failed verification\n";
