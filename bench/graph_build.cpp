@@ -53,6 +53,7 @@ msSince(std::chrono::steady_clock::time_point start)
 struct Row
 {
     std::string preset;
+    unsigned threads = 1;
     double scale;
     std::uint64_t vertices;
     std::uint64_t edges;
@@ -75,6 +76,7 @@ benchPreset(gga::GraphPreset p, double scale, unsigned threads, int reps,
 {
     Row row;
     row.preset = gga::presetName(p);
+    row.threads = threads;
     row.scale = scale;
     const gga::GenSpec spec = gga::presetSpecScaled(p, scale);
 
@@ -156,10 +158,10 @@ benchPreset(gga::GraphPreset p, double scale, unsigned threads, int reps,
     std::filesystem::remove(snap);
 
     std::fprintf(stderr,
-                 "[bench] %s @ %.2f: synth %.1f -> %.1fms (%.2fx), "
+                 "[bench] %s @ %.2f x%u: synth %.1f -> %.1fms (%.2fx), "
                  "build %.1f -> %.1fms (%.2fx), load %.1f -> %.1fms "
                  "mmap (%.1fx vs resynthesis)\n",
-                 row.preset.c_str(), scale, row.synthRefMs,
+                 row.preset.c_str(), scale, threads, row.synthRefMs,
                  row.synthParallelMs, row.synthSpeedup(), row.buildSerialMs,
                  row.buildParallelMs, row.buildSpeedup(),
                  row.snapshotLoadMs, row.mmapLoadMs, row.loadVsRebuild());
@@ -209,14 +211,22 @@ main(int argc, char** argv)
 
     const std::string tmp_dir =
         std::filesystem::temp_directory_path().string();
+    // Each preset at one thread AND at the configured budget: the pair
+    // of rows is the parallel-path scaling trajectory the JSON tracks
+    // across PRs (identical work, so the outputs cross-check for free).
     std::vector<Row> rows;
-    for (gga::GraphPreset p : gga::kAllGraphPresets)
-        rows.push_back(benchPreset(p, scale, threads, reps, tmp_dir));
+    for (gga::GraphPreset p : gga::kAllGraphPresets) {
+        rows.push_back(benchPreset(p, scale, 1, reps, tmp_dir));
+        if (threads != 1)
+            rows.push_back(benchPreset(p, scale, threads, reps, tmp_dir));
+    }
 
-    // The gate row: the largest input at this scale (edge count decides).
+    // The gate row: the largest input at this scale (edge count decides)
+    // benched at the configured thread budget.
     const Row* largest = &rows.front();
     for (const Row& r : rows) {
-        if (r.edges > largest->edges)
+        if (r.threads == threads &&
+            (largest->threads != threads || r.edges > largest->edges))
             largest = &r;
     }
 
@@ -239,14 +249,15 @@ main(int argc, char** argv)
         const Row& r = rows[i];
         std::fprintf(
             f,
-            "    {\"preset\": \"%s\", \"scale\": %g, \"vertices\": %llu, "
+            "    {\"preset\": \"%s\", \"threads\": %u, \"scale\": %g, "
+            "\"vertices\": %llu, "
             "\"edges\": %llu, \"synth_ref_ms\": %.2f, "
             "\"synth_parallel_ms\": %.2f, \"synth_speedup\": %.2f, "
             "\"build_serial_ms\": %.2f, \"build_parallel_ms\": %.2f, "
             "\"build_speedup\": %.2f, \"snapshot_save_ms\": %.2f, "
             "\"snapshot_load_ms\": %.2f, \"mmap_load_ms\": %.2f, "
             "\"load_vs_rebuild\": %.1f}%s\n",
-            r.preset.c_str(), r.scale,
+            r.preset.c_str(), r.threads, r.scale,
             static_cast<unsigned long long>(r.vertices),
             static_cast<unsigned long long>(r.edges), r.synthRefMs,
             r.synthParallelMs, r.synthSpeedup(), r.buildSerialMs,

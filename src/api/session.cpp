@@ -126,6 +126,13 @@ RunPlan::collectOutputs(bool on)
     return *this;
 }
 
+RunPlan&
+RunPlan::priority(Lane lane)
+{
+    priority_ = lane;
+    return *this;
+}
+
 std::string
 RunOutcome::name() const
 {
@@ -260,7 +267,8 @@ TaskPool&
 Session::executor()
 {
     std::call_once(poolOnce_, [this] {
-        pool_ = std::make_unique<TaskPool>(threads());
+        pool_ = std::make_unique<TaskPool>(
+            TaskPoolOptions{threads(), opts_.pinThreads});
         actualThreads_.store(pool_->width(), std::memory_order_release);
         poolStarted_.store(true, std::memory_order_release);
     });
@@ -294,23 +302,52 @@ Session::completedTasks() const
 std::future<RunOutcome>
 Session::submit(RunPlan plan)
 {
-    return executor().submit([this, plan = std::move(plan)]() -> RunOutcome {
-        std::string error;
-        std::optional<RunOutcome> out = tryRun(plan, &error);
-        if (!out)
-            throw PlanError(error);
-        return std::move(*out);
-    });
+    const Lane lane = plan.plannedPriority();
+    return executor().submit(
+        [this, plan = std::move(plan)]() -> RunOutcome {
+            std::string error;
+            std::optional<RunOutcome> out = tryRun(plan, &error);
+            if (!out)
+                throw PlanError(error);
+            return std::move(*out);
+        },
+        lane);
 }
 
 std::vector<std::future<RunOutcome>>
 Session::submitAll(std::vector<RunPlan> plans)
 {
+    // Batch per lane through postAll: one expander task per lane fans the
+    // plans out across the workers' stealing deques, so the shared
+    // injection lock is touched twice, not once per plan.
     std::vector<std::future<RunOutcome>> futures;
     futures.reserve(plans.size());
-    for (RunPlan& plan : plans)
-        futures.push_back(submit(std::move(plan)));
+    std::vector<TaskPool::Task> lanes[kLaneCount];
+    for (RunPlan& plan : plans) {
+        const unsigned lane = static_cast<unsigned>(plan.plannedPriority());
+        TaskPool::Task task;
+        futures.push_back(TaskPool::package(
+            [this, plan = std::move(plan)]() -> RunOutcome {
+                std::string error;
+                std::optional<RunOutcome> out = tryRun(plan, &error);
+                if (!out)
+                    throw PlanError(error);
+                return std::move(*out);
+            },
+            task));
+        lanes[lane].push_back(std::move(task));
+    }
+    executor().postAll(std::move(lanes[0]), Lane::Interactive);
+    executor().postAll(std::move(lanes[1]), Lane::Batch);
     return futures;
+}
+
+TaskPool::Stats
+Session::executorStats() const
+{
+    if (!poolStarted_.load(std::memory_order_acquire))
+        return {};
+    return pool_->stats();
 }
 
 } // namespace gga

@@ -99,6 +99,13 @@ class RunPlan
      */
     RunPlan& collectOutputs(bool on = true);
 
+    /**
+     * Executor lane for submit/submitAll (Lane::Interactive by default:
+     * a directly-submitted plan is someone waiting on a result). Manifest
+     * execution plans it to Lane::Batch. Irrelevant to synchronous run().
+     */
+    RunPlan& priority(Lane lane);
+
     // --- introspection (used by Session and tests) ---
     std::optional<AppId> plannedApp() const { return app_; }
     std::optional<GraphPreset> plannedPreset() const { return preset_; }
@@ -115,6 +122,7 @@ class RunPlan
     std::uint64_t plannedSeed() const { return seed_; }
     /** nullopt = inherit the session default. */
     std::optional<bool> outputsRequested() const { return collectOutputs_; }
+    Lane plannedPriority() const { return priority_; }
 
   private:
     std::optional<AppId> app_;
@@ -128,6 +136,7 @@ class RunPlan
     std::optional<SimParams> params_;
     std::uint64_t seed_ = 0;
     std::optional<bool> collectOutputs_;
+    Lane priority_ = Lane::Interactive;
 };
 
 /** Everything one run produced: identity, timing, typed outputs. */
@@ -174,6 +183,11 @@ struct SessionOptions
      * submit, so purely synchronous sessions never spawn threads.
      */
     unsigned threads = 0;
+    /**
+     * Pin executor workers to CPUs (TaskPoolOptions::pinThreads). Unset =
+     * the GGA_PIN_THREADS environment default.
+     */
+    std::optional<bool> pinThreads;
     /**
      * LRU byte budget applied to the shared GraphStore (see
      * GraphStore::setBudgetBytes). 0 = leave the store's current budget
@@ -258,6 +272,8 @@ class Session
     /**
      * Submit a batch; futures are returned in plan order, so gathering
      * them in order yields results bit-identical to a serial run() loop.
+     * Goes through TaskPool::postAll per lane, so the units fan out over
+     * the workers' stealing deques instead of the shared injection queue.
      */
     std::vector<std::future<RunOutcome>> submitAll(std::vector<RunPlan> plans);
 
@@ -281,6 +297,9 @@ class Session
 
     /** Tasks the executor has finished since it started (monotonic). */
     std::uint64_t completedTasks() const;
+
+    /** Scheduler telemetry; zero-valued before the executor's lazy start. */
+    TaskPool::Stats executorStats() const;
 
   private:
     // Lock-free by design: opts_ is immutable after construction, and

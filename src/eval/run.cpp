@@ -73,16 +73,30 @@ planForUnit(const WorkUnit& unit)
     return plan;
 }
 
+Lane
+manifestLane(const Manifest& manifest)
+{
+    const auto it = manifest.meta.find("priority");
+    if (it == manifest.meta.end())
+        return Lane::Batch;
+    if (const std::optional<Lane> lane = parseLane(it->second))
+        return *lane;
+    GGA_WARN("manifest priority '", it->second,
+             "' is not a lane name; using batch");
+    return Lane::Batch;
+}
+
 PendingManifest
 submitManifest(Session& session, const Manifest& manifest)
 {
+    const Lane lane = manifestLane(manifest);
     PendingManifest pending;
     pending.keys_.reserve(manifest.size());
     std::vector<RunPlan> plans;
     plans.reserve(manifest.size());
     for (const WorkUnit& u : manifest.units()) {
         pending.keys_.push_back(u.key());
-        plans.push_back(planForUnit(u));
+        plans.push_back(planForUnit(u).priority(lane));
     }
     pending.futures_ = session.submitAll(std::move(plans));
     return pending;
@@ -116,44 +130,72 @@ runManifest(Session& session, const Manifest& manifest)
     return submitManifest(session, manifest).collect();
 }
 
+namespace {
+
+/**
+ * Per-unit context of a streamed manifest, heap-boxed so the queue task
+ * is one unique_ptr — InlineFunction's 64 inline bytes hold it with room
+ * to spare, and the RunPlan/key/callback live in one allocation.
+ */
+struct StreamedUnit
+{
+    Session* session = nullptr;
+    std::shared_ptr<std::function<void(const UnitEvent&)>> cb;
+    std::size_t index = 0;
+    std::string key;
+    RunPlan plan;
+};
+
+void
+runStreamedUnit(const StreamedUnit& unit)
+{
+    UnitEvent ev;
+    ev.index = unit.index;
+    ev.key = unit.key;
+    std::string why;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (std::optional<RunOutcome> out = unit.session->tryRun(unit.plan, &why)) {
+        UnitResult r;
+        r.key = unit.key;
+        r.run = out->result;
+        r.output = summarizeOutput(*out);
+        ev.result = std::move(r);
+        ev.appName = out->appName;
+    } else {
+        ev.error = "work unit '" + unit.key + "': invalid run plan: " + why;
+    }
+    ev.millis = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    (*unit.cb)(ev);
+}
+
+} // namespace
+
 void
 submitManifestStreamed(Session& session, const Manifest& manifest,
                        std::function<void(const UnitEvent&)> onUnit)
 {
     GGA_ASSERT(onUnit, "submitManifestStreamed needs a callback");
-    // One shared copy of the callback: the per-unit lambdas must stay
-    // copyable for std::function, and the caller's functor may be heavy.
+    const Lane lane = manifestLane(manifest);
+    // One shared copy of the callback: the caller's functor may be heavy.
     auto cb = std::make_shared<std::function<void(const UnitEvent&)>>(
         std::move(onUnit));
+    std::vector<TaskPool::Task> tasks;
+    tasks.reserve(manifest.size());
     std::size_t index = 0;
     for (const WorkUnit& u : manifest.units()) {
-        session.executor().post(
-            [&session, cb, index, key = u.key(), plan = planForUnit(u)] {
-                UnitEvent ev;
-                ev.index = index;
-                ev.key = key;
-                std::string why;
-                const auto t0 = std::chrono::steady_clock::now();
-                if (std::optional<RunOutcome> out =
-                        session.tryRun(plan, &why)) {
-                    UnitResult r;
-                    r.key = key;
-                    r.run = out->result;
-                    r.output = summarizeOutput(*out);
-                    ev.result = std::move(r);
-                    ev.appName = out->appName;
-                } else {
-                    ev.error =
-                        "work unit '" + key + "': invalid run plan: " + why;
-                }
-                ev.millis =
-                    std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-                (*cb)(ev);
-            });
+        auto unit = std::make_unique<StreamedUnit>();
+        unit->session = &session;
+        unit->cb = cb;
+        unit->index = index;
+        unit->key = u.key();
+        unit->plan = planForUnit(u).priority(lane);
+        tasks.emplace_back(
+            [unit = std::move(unit)] { runStreamedUnit(*unit); });
         ++index;
     }
+    session.executor().postAll(std::move(tasks), lane);
 }
 
 } // namespace gga

@@ -31,6 +31,14 @@ std::optional<OutputSummary> summarizeOutput(const RunOutcome& outcome);
 RunPlan planForUnit(const WorkUnit& unit);
 
 /**
+ * The executor lane a manifest's units run on: its meta "priority" entry
+ * parsed as a lane name, defaulting to Lane::Batch (manifests are the
+ * bulk work the interactive lane overtakes). An unparseable value warns
+ * and falls back to batch.
+ */
+Lane manifestLane(const Manifest& manifest);
+
+/**
  * A manifest whose runs are enqueued on a Session executor but not yet
  * gathered. Move-only; collect() may be called once; the Session must
  * outlive it.

@@ -13,7 +13,7 @@
 #include <thread>
 #include <utility>
 
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 #include "support/log.hpp"
 
 namespace gga {

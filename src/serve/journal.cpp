@@ -8,7 +8,7 @@
 #include <set>
 #include <utility>
 
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 #include "serve/http.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"

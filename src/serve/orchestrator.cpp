@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 #include "serve/journal.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"

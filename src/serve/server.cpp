@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "harness/figures.hpp"
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 #include "serve/journal.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"
@@ -266,6 +266,22 @@ Service::submitJob(const HttpRequest& req)
             return errorResponse(400, "manifest has no units");
     }
 
+    // Scheduling lane: single plans are someone waiting on one result
+    // (interactive); manifests are bulk sweeps (batch). An explicit
+    // "priority" wins either way, and lands in the manifest's meta so it
+    // survives the journal and a crash replay.
+    Lane lane = plan ? Lane::Interactive : Lane::Batch;
+    if (const Json* p = body.find("priority")) {
+        const std::optional<Lane> parsed = parseLane(p->asString());
+        if (!parsed)
+            return errorResponse(400,
+                                 "priority must be \"interactive\" or "
+                                 "\"batch\", got \"" +
+                                     p->asString() + "\"");
+        lane = *parsed;
+    }
+    manifest.meta["priority"] = laneName(lane);
+
     std::string execution = "local";
     if (const Json* e = body.find("execution"))
         execution = e->asString();
@@ -457,12 +473,20 @@ Service::statsResponse()
     store.set("budget_bytes",
               Json(static_cast<std::uint64_t>(gc.budgetBytes)));
 
+    const TaskPool::Stats es = session_.executorStats();
     Json exec = Json::object();
     exec.set("threads", Json(session_.threads()));
     exec.set("queue_depth",
              Json(static_cast<std::uint64_t>(session_.queueDepth())));
     exec.set("running", Json(session_.runningTasks()));
     exec.set("completed_total", Json(session_.completedTasks()));
+    exec.set("interactive_depth",
+             Json(static_cast<std::uint64_t>(es.interactiveDepth)));
+    exec.set("batch_depth", Json(static_cast<std::uint64_t>(es.batchDepth)));
+    exec.set("steals_total", Json(es.stealsTotal));
+    exec.set("steal_failures", Json(es.stealFailures));
+    exec.set("pinned", Json(es.pinned));
+    exec.set("batch_niced", Json(es.batchNiced));
 
     Json j = jobs_.statsJson();
     j.set("graph_store", std::move(store));

@@ -6,7 +6,7 @@
 #include <thread>
 
 #include "eval/run.hpp"
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 #include "serve/http.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"

@@ -1,4 +1,4 @@
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 
 #include <unistd.h>
 

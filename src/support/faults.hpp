@@ -1,9 +1,10 @@
 /**
  * @file
- * Deterministic fault injection for the resident service.
+ * Deterministic fault injection.
  *
  * Every recovery path in gga_serve — short socket reads, corrupt worker
- * parts, expired leases, crashes between journal appends — is reachable
+ * parts, expired leases, crashes between journal appends — plus the
+ * executor's scheduling perturbation point (pool.yield) is reachable
  * on demand through named *sites* compiled into the hot seams. A site is
  * inert (one atomic load) until armed through the GGA_FAULTS environment
  * variable or configure():
@@ -28,8 +29,8 @@
  * server, worker client, and journal layers).
  */
 
-#ifndef GGA_SERVE_FAULTS_HPP
-#define GGA_SERVE_FAULTS_HPP
+#ifndef GGA_SUPPORT_FAULTS_HPP
+#define GGA_SUPPORT_FAULTS_HPP
 
 #include <string>
 
@@ -73,4 +74,4 @@ std::uint64_t injectedTotal();
 
 } // namespace gga::faults
 
-#endif // GGA_SERVE_FAULTS_HPP
+#endif // GGA_SUPPORT_FAULTS_HPP

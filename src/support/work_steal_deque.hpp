@@ -1,0 +1,202 @@
+/**
+ * @file
+ * WorkStealDeque: a growable Chase–Lev work-stealing deque.
+ *
+ * One owner thread pushes and pops at the bottom (LIFO); any number of
+ * thief threads steal from the top (FIFO). The owner never blocks, and a
+ * thief either takes the oldest element, loses a race (Abort), or finds
+ * the deque empty — no locks anywhere, which is why TaskPool's workers
+ * can probe each other's queues without serializing on a shared mutex.
+ *
+ * Design notes (this is the Chase–Lev structure from "Dynamic Circular
+ * Work-Stealing Deque", with the C11 memory orderings of Lê et al.,
+ * adapted in two ways):
+ *
+ *  - Elements must be trivially copyable (enforced below) because a
+ *    thief copies a slot *speculatively* and only then claims it with a
+ *    CAS on top. A move-only element cannot be read speculatively; store
+ *    pointers instead (TaskPool stores Task*).
+ *  - Orderings are deliberately conservative — seq_cst on the top/bottom
+ *    handshakes instead of standalone fences — because ThreadSanitizer
+ *    does not model atomic_thread_fence, and this repo's TSan CI job is
+ *    a hard gate. The extra cost is nanoseconds; the tasks the pool
+ *    carries run for milliseconds to minutes.
+ *
+ * Growth: when the ring fills, the owner allocates a doubled ring and
+ * copies the live range. Retired rings are kept alive until destruction
+ * (a thief may still be reading a stale ring pointer); their slots were
+ * copied, never cleared, so a stale read remains valid — the CAS on top
+ * decides ownership either way. Memory held is bounded by 2x the peak.
+ */
+
+#ifndef GGA_SUPPORT_WORK_STEAL_DEQUE_HPP
+#define GGA_SUPPORT_WORK_STEAL_DEQUE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "support/log.hpp"
+
+namespace gga {
+
+template <typename T>
+class WorkStealDeque
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Chase-Lev slots are copied speculatively; store "
+                  "pointers for non-trivial payloads");
+
+  public:
+    enum class Steal
+    {
+        Got,   ///< out holds the stolen element
+        Empty, ///< nothing to steal
+        Abort, ///< lost a race with the owner or another thief; retry
+    };
+
+    explicit WorkStealDeque(std::size_t initialCapacity = 64)
+    {
+        std::size_t cap = 1;
+        while (cap < initialCapacity)
+            cap <<= 1;
+        rings_.push_back(std::make_unique<Ring>(cap));
+        ring_.store(rings_.back().get(), std::memory_order_release);
+    }
+
+    WorkStealDeque(const WorkStealDeque&) = delete;
+    WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+    /** Owner only. Always succeeds (grows as needed). */
+    void
+    pushBottom(T item)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        Ring* ring = ring_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
+            ring = grow(ring, t, b);
+        }
+        ring->put(b, item);
+        // seq_cst store: orders the slot write before the size increase
+        // for a thief whose top/bottom loads are also seq_cst.
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+
+    /** Owner only. False when the deque is empty. */
+    bool
+    popBottom(T& out)
+    {
+        const std::int64_t b =
+            bottom_.load(std::memory_order_relaxed) - 1;
+        Ring* ring = ring_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t > b) {
+            // Already empty; restore bottom.
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = ring->get(b);
+        if (t == b) {
+            // Last element: race the thieves for it via top.
+            const bool won = top_.compare_exchange_strong(
+                t, t + 1, std::memory_order_seq_cst,
+                std::memory_order_seq_cst);
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return won;
+        }
+        return true;
+    }
+
+    /** Any thread. One attempt; Abort means "contended, try again". */
+    Steal
+    steal(T& out)
+    {
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return Steal::Empty;
+        // Speculative copy: if the CAS below succeeds, no other thread
+        // claimed index t, and the owner cannot have overwritten slot t
+        // without top first moving past it — so the copy is the element.
+        Ring* ring = ring_.load(std::memory_order_acquire);
+        const T item = ring->get(t);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst))
+            return Steal::Abort;
+        out = item;
+        return Steal::Got;
+    }
+
+    /**
+     * Racy size estimate for telemetry and victim selection; never
+     * negative. Exact only when the deque is quiescent.
+     */
+    std::size_t
+    sizeEstimate() const
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+  private:
+    struct Ring
+    {
+        explicit Ring(std::size_t cap)
+            : capacity(cap), mask(cap - 1),
+              slots(std::make_unique<std::atomic<T>[]>(cap))
+        {
+        }
+
+        T
+        get(std::int64_t i) const
+        {
+            return slots[static_cast<std::size_t>(i) & mask].load(
+                std::memory_order_acquire);
+        }
+
+        void
+        put(std::int64_t i, T v)
+        {
+            slots[static_cast<std::size_t>(i) & mask].store(
+                v, std::memory_order_release);
+        }
+
+        std::size_t capacity;
+        std::size_t mask;
+        std::unique_ptr<std::atomic<T>[]> slots;
+    };
+
+    /** Owner only: double the ring, copy [t, b), publish. */
+    Ring*
+    grow(Ring* old, std::int64_t t, std::int64_t b)
+    {
+        GGA_ASSERT(old->capacity < (std::size_t{1} << 40),
+                   "work-steal deque grew past 2^40 slots — runaway "
+                   "producer");
+        auto bigger = std::make_unique<Ring>(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i)
+            bigger->put(i, old->get(i));
+        Ring* fresh = bigger.get();
+        rings_.push_back(std::move(bigger)); // retire the old ring alive
+        ring_.store(fresh, std::memory_order_release);
+        return fresh;
+    }
+
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+    std::atomic<Ring*> ring_{nullptr};
+    /** All rings ever allocated; owner-mutated only (push path), thieves
+     *  go through ring_. Kept until destruction — see file comment. */
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+} // namespace gga
+
+#endif // GGA_SUPPORT_WORK_STEAL_DEQUE_HPP

@@ -1,0 +1,133 @@
+// WorkStealDeque: owner push/pop semantics, growth, and a concurrent
+// torture run — one owner cycling pushBottom/popBottom against several
+// thieves, every element consumed exactly once. The torture test is the
+// one the TSan CI job exists for: the deque is the only lock-free
+// structure in the repo, and its orderings are correct or this explodes.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/work_steal_deque.hpp"
+
+namespace {
+
+using gga::WorkStealDeque;
+using Steal = WorkStealDeque<std::uint64_t>::Steal;
+
+TEST(WorkStealDequeTest, PopsInLifoOrderFromOwner)
+{
+    WorkStealDeque<std::uint64_t> deq;
+    for (std::uint64_t v = 1; v <= 5; ++v)
+        deq.pushBottom(v);
+    EXPECT_EQ(deq.sizeEstimate(), 5u);
+    std::uint64_t out = 0;
+    for (std::uint64_t expect = 5; expect >= 1; --expect) {
+        ASSERT_TRUE(deq.popBottom(out));
+        EXPECT_EQ(out, expect);
+    }
+    EXPECT_FALSE(deq.popBottom(out));
+    EXPECT_EQ(deq.sizeEstimate(), 0u);
+}
+
+TEST(WorkStealDequeTest, StealsInFifoOrderFromThief)
+{
+    WorkStealDeque<std::uint64_t> deq;
+    for (std::uint64_t v = 1; v <= 5; ++v)
+        deq.pushBottom(v);
+    std::uint64_t out = 0;
+    for (std::uint64_t expect = 1; expect <= 5; ++expect) {
+        ASSERT_EQ(deq.steal(out), Steal::Got);
+        EXPECT_EQ(out, expect);
+    }
+    EXPECT_EQ(deq.steal(out), Steal::Empty);
+    EXPECT_FALSE(deq.popBottom(out));
+}
+
+TEST(WorkStealDequeTest, GrowsPastInitialCapacityWithoutLoss)
+{
+    WorkStealDeque<std::uint64_t> deq(4);
+    constexpr std::uint64_t kCount = 1000;
+    for (std::uint64_t v = 0; v < kCount; ++v)
+        deq.pushBottom(v);
+    EXPECT_EQ(deq.sizeEstimate(), kCount);
+    // Mixed consumption across the grown ring: half stolen (oldest
+    // first), half popped (newest first).
+    std::uint64_t out = 0;
+    for (std::uint64_t expect = 0; expect < kCount / 2; ++expect) {
+        ASSERT_EQ(deq.steal(out), Steal::Got);
+        EXPECT_EQ(out, expect);
+    }
+    for (std::uint64_t expect = kCount; expect-- > kCount / 2;) {
+        ASSERT_TRUE(deq.popBottom(out));
+        EXPECT_EQ(out, expect);
+    }
+    EXPECT_FALSE(deq.popBottom(out));
+}
+
+TEST(WorkStealDequeTest, OwnerAndThievesConsumeEveryElementExactlyOnce)
+{
+    constexpr int kThieves = 3;
+    constexpr std::uint64_t kElements = 20000;
+
+    WorkStealDeque<std::uint64_t> deq(8); // small: forces growth races
+    std::vector<std::atomic<std::uint32_t>> seen(kElements);
+    for (auto& s : seen)
+        s.store(0);
+    std::atomic<std::uint64_t> consumed{0};
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(kThieves);
+    for (int t = 0; t < kThieves; ++t) {
+        thieves.emplace_back([&] {
+            std::uint64_t v = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                switch (deq.steal(v)) {
+                case Steal::Got:
+                    seen[v].fetch_add(1);
+                    consumed.fetch_add(1);
+                    break;
+                case Steal::Abort:
+                case Steal::Empty:
+                    break;
+                }
+            }
+        });
+    }
+
+    // Owner: push in bursts, pop some back — the popBottom/steal race on
+    // the last element is the hard part of the algorithm.
+    std::uint64_t next = 0;
+    while (next < kElements) {
+        for (int burst = 0; burst < 64 && next < kElements; ++burst)
+            deq.pushBottom(next++);
+        std::uint64_t v = 0;
+        for (int pops = 0; pops < 24; ++pops) {
+            if (!deq.popBottom(v))
+                break;
+            seen[v].fetch_add(1);
+            consumed.fetch_add(1);
+        }
+    }
+    // Drain whatever the thieves haven't taken.
+    std::uint64_t v = 0;
+    while (consumed.load() < kElements) {
+        if (deq.popBottom(v)) {
+            seen[v].fetch_add(1);
+            consumed.fetch_add(1);
+        }
+    }
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : thieves)
+        t.join();
+
+    for (std::uint64_t i = 0; i < kElements; ++i)
+        ASSERT_EQ(seen[i].load(), 1u) << "element " << i;
+    EXPECT_EQ(deq.sizeEstimate(), 0u);
+}
+
+} // namespace

@@ -9,7 +9,7 @@
 
 #include <gtest/gtest.h>
 
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 #include "support/json.hpp"
 
 namespace gga {

@@ -22,7 +22,7 @@
 
 #include "eval/run.hpp"
 #include "harness/workloads.hpp"
-#include "serve/faults.hpp"
+#include "support/faults.hpp"
 #include "serve/http.hpp"
 #include "serve/server.hpp"
 #include "serve/worker_client.hpp"
@@ -173,6 +173,39 @@ TEST(ServeSubmit, RejectsMalformedBodies)
               400); // more shards than units
     EXPECT_EQ(post("{\"manifest\": {\"units\": []}}"), 400); // empty
     EXPECT_EQ(post("{\"plan\": {\"app\": \"NOPE\"}}"), 400);
+}
+
+TEST(ServeSubmit, BadPriorityIs400AndStatsExposeExecutorLanes)
+{
+    Service svc(quickOptions());
+    const std::string manifestText = tinyManifest().toJson().dump();
+    EXPECT_EQ(svc.handle(request("POST", "/v1/jobs", {},
+                                 "{\"manifest\": " + manifestText +
+                                     ", \"priority\": \"urgent\"}"))
+                  .status,
+              400);
+
+    // A valid priority admits; afterwards the executor section carries
+    // the scheduler's lane depths and steal counters.
+    const HttpResponse sub = svc.handle(
+        request("POST", "/v1/jobs", {},
+                "{\"manifest\": " + manifestText +
+                    ", \"priority\": \"interactive\"}"));
+    ASSERT_EQ(sub.status, 202) << sub.body;
+    EXPECT_EQ(awaitTerminal(svc, parseBody(sub).at("id").asString()),
+              "done");
+
+    const Json stats = parseBody(svc.handle(request("GET", "/stats")));
+    const Json& exec = stats.at("executor");
+    ASSERT_NE(exec.find("interactive_depth"), nullptr);
+    ASSERT_NE(exec.find("batch_depth"), nullptr);
+    ASSERT_NE(exec.find("steals_total"), nullptr);
+    ASSERT_NE(exec.find("steal_failures"), nullptr);
+    ASSERT_NE(exec.find("pinned"), nullptr);
+    ASSERT_NE(exec.find("batch_niced"), nullptr);
+    // The job drained, so both lanes are idle again.
+    EXPECT_EQ(exec.at("interactive_depth").asU64(), 0u);
+    EXPECT_EQ(exec.at("batch_depth").asU64(), 0u);
 }
 
 TEST(ServeSubmit, UnknownJobIs404)

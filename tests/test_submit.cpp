@@ -7,18 +7,25 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "api/session.hpp"
 #include "api/task_pool.hpp"
+#include "eval/manifest.hpp"
+#include "eval/run.hpp"
 #include "graph/generator.hpp"
 #include "harness/sweep.hpp"
 #include "harness/workloads.hpp"
+#include "support/faults.hpp"
 
 namespace gga {
 namespace {
@@ -97,6 +104,110 @@ TEST(TaskPoolTest, DestructorDrainsPostedJobs)
             pool.post([&ran] { ran.fetch_add(1); });
     }
     EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(TaskPoolTest, InteractiveLaneOvertakesQueuedBatchWork)
+{
+    TaskPool pool(1);
+    // Park the single worker so everything below queues behind it.
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.post([opened] { opened.wait(); }, Lane::Interactive);
+    while (pool.active() == 0)
+        std::this_thread::yield();
+
+    std::mutex order_mu;
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+        pool.post(
+            [&order_mu, &order, i] {
+                const std::lock_guard<std::mutex> lock(order_mu);
+                order.push_back(100 + i);
+            },
+            Lane::Batch);
+    }
+    for (int i = 0; i < 3; ++i) {
+        pool.post(
+            [&order_mu, &order, i] {
+                const std::lock_guard<std::mutex> lock(order_mu);
+                order.push_back(i);
+            },
+            Lane::Interactive);
+    }
+    EXPECT_EQ(pool.pending(Lane::Interactive), 3u);
+    EXPECT_EQ(pool.pending(Lane::Batch), 3u);
+
+    gate.set_value();
+    while (pool.completedTotal() < 7)
+        std::this_thread::yield();
+    // Interactive tasks posted LAST still ran first, FIFO within lanes.
+    // (order_mu, not the completion counter, synchronizes the reads.)
+    const std::vector<int> want{0, 1, 2, 100, 101, 102};
+    const std::lock_guard<std::mutex> lock(order_mu);
+    EXPECT_EQ(order, want);
+}
+
+TEST(TaskPoolTest, PostAllBatchesFanOutThroughStealing)
+{
+    TaskPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<TaskPool::Task> tasks;
+    // The expanding worker pops the slow head in batch order and holds it
+    // for 200ms; its siblings have nothing else, so the remaining units
+    // MUST arrive via steals.
+    tasks.emplace_back([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        ran.fetch_add(1);
+    });
+    for (int i = 0; i < 15; ++i) {
+        tasks.emplace_back([&ran] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ran.fetch_add(1);
+        });
+    }
+    pool.postAll(std::move(tasks), Lane::Batch);
+    while (pool.completedTotal() < 16)
+        std::this_thread::yield();
+    EXPECT_EQ(ran.load(), 16);
+    EXPECT_GT(pool.stats().stealsTotal, 0u);
+}
+
+// --- stealing determinism -------------------------------------------------
+
+TEST(StealingDeterminism, ManifestBytesIdenticalAcrossWidthsUnderYields)
+{
+    // A manifest wide enough to fan out, with seeds making keys distinct.
+    Manifest manifest;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        WorkUnit u;
+        // CC's dynamic traversal requires a PushPull config; PR is static.
+        u.app = seed % 2 == 0 ? AppId::Pr : AppId::Cc;
+        u.config = *tryParseConfig(seed % 2 == 0 ? "SG1" : "DD1");
+        u.preset = GraphPreset::Raj;
+        u.scale = 0.05;
+        u.seed = seed;
+        manifest.add(u);
+    }
+
+    // Arm the executor's scheduling perturbation: every 3rd dequeue
+    // yields, shuffling which worker runs what. Results must not care.
+    // RAII reset: a failing expectation must not leave later tests
+    // running with faults armed.
+    struct FaultReset
+    {
+        ~FaultReset() { faults::configure(""); }
+    } reset;
+    faults::configure("seed=1,pool.yield=2/3");
+    std::optional<std::string> want;
+    for (unsigned width : {1u, 2u, 8u}) {
+        Session session = makeSession(width);
+        const std::string got =
+            runManifest(session, manifest).toJson().dump();
+        if (!want)
+            want = got;
+        else
+            EXPECT_EQ(got, *want) << "width " << width;
+    }
 }
 
 // --- Session::submit ------------------------------------------------------
